@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a Table 1 row, a
+worked example, or an optimality theorem's sweep) and prints the rows it
+measured in a paper-shaped table.  Absolute numbers depend on the
+simulated machine; the *shape* — who wins, by what factor, where the
+crossover sits — is the reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro import Device, Instance
+from repro.core import CountingEmitter
+
+
+def run_em(query, schemas, data, runner: Callable, M: int, B: int,
+           **kwargs) -> dict:
+    """Run an EM algorithm on a fresh device; return io/result counts."""
+    device = Device(M=M, B=B)
+    instance = Instance.from_dicts(device, schemas, data)
+    emitter = CountingEmitter()
+    runner(query, instance, emitter, **kwargs)
+    return {"io": device.stats.total, "reads": device.stats.reads,
+            "writes": device.stats.writes, "results": emitter.count,
+            "peak_mem": device.memory.peak}
+
+
+def best_branch(query, schemas, data, M: int, B: int,
+                limit: int = 12) -> dict:
+    """Measure Algorithm 2's best peel branch."""
+    from repro.core import acyclic_join_best
+
+    device = Device(M=M, B=B)
+    instance = Instance.from_dicts(device, schemas, data)
+    best = acyclic_join_best(query, instance, limit=limit)
+    return {"io": best.io, "reads": best.best.reads,
+            "writes": best.best.writes, "results": best.best.emitted,
+            "branches": len(best.runs),
+            "round_robin_io": best.round_robin_io}
+
+
+def print_table(title: str, rows: Sequence[Mapping], capsys=None) -> None:
+    """Print measurement rows as an aligned table (outside capture)."""
+    def do_print():
+        print()
+        print(f"== {title} ==")
+        if not rows:
+            print("(no rows)")
+            return
+        cols = list(rows[0].keys())
+        widths = {c: max(len(str(c)),
+                         *(len(_fmt(r[c])) for r in rows)) for c in cols}
+        header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+        print(header)
+        print("-" * len(header))
+        for r in rows:
+            print("  ".join(_fmt(r[c]).ljust(widths[c]) for c in cols))
+
+    if capsys is not None:
+        with capsys.disabled():
+            do_print()
+    else:
+        do_print()
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

@@ -1,0 +1,51 @@
+"""Experiment F1-subjoin — Figure 1: subjoins vs partial joins.
+
+The paper's Figure 1 illustrates, on an ``L3`` instance, that for a
+*disconnected* subset ``S = {e1, e3}`` the subjoin (a cross product)
+strictly contains the partial join, while for connected subsets the two
+coincide on fully reduced instances.  This bench regenerates those
+numbers on a parameterized family.
+"""
+
+from _util import print_table
+from repro.analysis import partial_join_size, psi_partial, psi_subjoin, subjoin_size
+from repro.query import line_query
+from repro.workloads import mapping_line_instance
+
+
+def sweep():
+    rows = []
+    q = line_query(3)
+    M, B = 4, 2
+    # k parallel chains: R1, R3 fan out, R2 is a matching -> partial
+    # join on {e1,e3} only pairs endpoints of the *same* chain.
+    for k, fan in [(2, 2), (4, 4), (8, 4)]:
+        schemas, data = mapping_line_instance([k * fan, k, k, k * fan],
+                                              ["onto", "one1", "fanout"])
+        for subset in ({"e1", "e2"}, {"e2", "e3"}, {"e1", "e3"},
+                       {"e1", "e2", "e3"}):
+            sj = subjoin_size(q, data, schemas, subset)
+            pj = partial_join_size(q, data, schemas, subset)
+            rows.append({"chains": k, "fan": fan,
+                         "S": "+".join(sorted(subset)),
+                         "subjoin": sj, "partial": pj,
+                         "Psi": psi_subjoin(q, data, schemas, subset,
+                                            M, B),
+                         "psi": psi_partial(q, data, schemas, subset,
+                                            M, B)})
+    return rows
+
+
+def test_fig1_subjoin_vs_partial(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Figure 1: subjoin vs partial join on L3", rows, capsys)
+    for r in rows:
+        # partial join is a projection of the full join: never larger.
+        assert r["partial"] <= r["subjoin"]
+        assert r["psi"] <= r["Psi"] + 1e-9
+        if r["S"] in ("e1+e2", "e2+e3", "e1+e2+e3"):
+            # connected subsets coincide on fully reduced instances
+            assert r["partial"] == r["subjoin"]
+    # The Figure 1 phenomenon: strict gap on the disconnected subset.
+    gaps = [r for r in rows if r["S"] == "e1+e3"]
+    assert all(r["partial"] < r["subjoin"] for r in gaps)

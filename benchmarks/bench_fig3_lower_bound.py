@@ -1,0 +1,49 @@
+"""Experiment F3-lower — Figure 3: the L3 lower-bound instance.
+
+Figure 3 realizes ``ψ(R, {e1, e3}) = N1·N3/(MB)``: every ``R1`` tuple
+joins every ``R3`` tuple through one bridge tuple.  The bench verifies
+the lower-bound arithmetic and that Algorithm 1 matches it within a
+constant while the measured cost of *any* algorithm cannot beat it.
+"""
+
+from _util import print_table, run_em
+from repro.analysis import dominant_subsets, lower_bound
+from repro.core import line3_join, yannakakis_em
+from repro.query import line_query
+from repro.workloads import fig3_line3_instance
+
+
+def sweep():
+    rows = []
+    q = line_query(3)
+    M, B = 8, 2
+    for n in (32, 64, 128):
+        schemas, data = fig3_line3_instance(n, n)
+        lb = lower_bound(q, data, schemas, M, B)
+        top = dominant_subsets(q, data, schemas, M, B, top=1)[0]
+        alg1 = run_em(q, schemas, data, line3_join, M, B)
+        base = run_em(q, schemas, data, yannakakis_em, M, B,
+                      reduce_first=False)
+        rows.append({"N1=N3": n, "psi lower": round(lb, 1),
+                     "arg max": "+".join(sorted(top[0])),
+                     "alg1 io": alg1["io"],
+                     "alg1/lower": alg1["io"] / lb,
+                     "yann-em io": base["io"],
+                     "yann/lower": base["io"] / lb})
+    return rows
+
+
+def test_fig3_lower_bound(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Figure 3: psi({e1,e3}) = N1*N3/(MB) lower bound", rows,
+                capsys)
+    for r in rows:
+        n = r["N1=N3"]
+        # the dominating partial join is exactly {e1, e3} at n²/(MB)
+        assert r["arg max"] == "e1+e3"
+        assert abs(r["psi lower"] - n * n / (8 * 2)) < 1e-6
+        # no algorithm can beat the lower bound; Algorithm 1 tracks it
+        assert r["alg1 io"] >= r["psi lower"] * 0.9
+        assert r["alg1/lower"] <= 8
+        # the materializing baseline drifts further above it
+        assert r["yann/lower"] > r["alg1/lower"]

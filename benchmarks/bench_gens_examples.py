@@ -1,0 +1,68 @@
+"""Experiment G-L3/L4/L5 — the Section 4.2 worked GenS examples.
+
+Regenerates, structurally, the paper's three worked examples: the
+``L3`` collection of equation (4), the two ``L4`` peel strategies, and
+the ``L5`` branches (the paper's ``S1..S4``).  Branch quality is
+compared the way the paper does — "in terms of the worst case" — by
+evaluating ``max_S max_R Ψ(R, S)`` per branch from the size vector:
+two of the four ``L5`` strategies must come out strictly better.
+"""
+
+from _util import print_table
+from repro.analysis import worst_case_branch_bound, worst_case_psi
+from repro.query import gens_all, line_query
+
+
+# Sizes with N2·N4 > N1·N3 so the S1/S4-only triples {e2,e4,e5} /
+# {e1,e2,e4} dominate the common {e1,e3,e5}.
+L5_SIZES = [4, 16, 4, 16, 16]
+M, B = 4, 2
+
+
+def branch_costs():
+    q = line_query(5, L5_SIZES)
+    rows = []
+    for i, branch in enumerate(sorted(gens_all(q),
+                                      key=lambda b: sorted(map(sorted, b)))):
+        worst_s, worst = max(
+            ((s, worst_case_psi(q, s, M, B)) for s in branch if s),
+            key=lambda p: p[1])
+        rows.append({"branch": i, "collection size": len(branch),
+                     "worst-case bound": round(worst, 1),
+                     "arg max": "+".join(sorted(worst_s))})
+    return rows
+
+
+def test_gens_worked_examples(benchmark, capsys):
+    rows = benchmark.pedantic(branch_costs, rounds=1, iterations=1)
+    print_table(f"GenS on L5 (sizes {L5_SIZES}): per-branch worst-case "
+                "bound", rows, capsys)
+
+    def fs(*names):
+        return frozenset(names)
+
+    # Equation (4): the L3 collection is exactly all subsets but the
+    # full one.
+    eq4 = {fs("e1", "e3"), fs("e2", "e3"), fs("e1", "e2"), fs("e1"),
+           fs("e2"), fs("e3"), frozenset()}
+    assert frozenset(eq4) in gens_all(line_query(3))
+
+    # L4: both strategies exist and differ by their surviving triple.
+    l4 = gens_all(line_query(4))
+    assert any(fs("e1", "e3", "e4") in b and fs("e1", "e2", "e4") not in b
+               for b in l4)
+    assert any(fs("e1", "e2", "e4") in b and fs("e1", "e3", "e4") not in b
+               for b in l4)
+
+    # L5: every branch carries {e1,e3,e5}; the four strategies split —
+    # "two of the four peeling strategies are better than the others".
+    for b in gens_all(line_query(5)):
+        assert fs("e1", "e3", "e5") in b
+    costs = sorted(r["worst-case bound"] for r in rows)
+    assert costs[0] < costs[-1]
+    worst_rows = [r for r in rows
+                  if r["worst-case bound"] == costs[-1]]
+    # The worse branches are pinned on an e2/e4 triple.
+    assert all(set(r["arg max"].split("+")) & {"e2", "e4"}
+               for r in worst_rows)
+    assert all(len(r["arg max"].split("+")) == 3 for r in worst_rows)

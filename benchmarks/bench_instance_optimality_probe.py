@@ -1,0 +1,58 @@
+"""Experiment O2 — probing the paper's open problem 2.
+
+Section 8, open problem 2: Yannakakis' algorithm is *instance* optimal
+in internal memory; the authors conjecture no external-memory
+equivalent exists even on 3 relations.  The natural instance target is
+``Θ(N/B + |Q(R)|/(MB))``.  This probe runs Algorithm 1 (worst-case
+optimal) on an instance family whose output is tiny while its partial
+joins stay large: the measured cost divided by the *instance* target
+grows with the family parameter — evidence in the conjecture's
+direction (the worst-case-optimal algorithm is demonstrably not
+instance optimal; whether *some* algorithm could be remains open).
+"""
+
+from _util import print_table, run_em
+from repro.core import line3_join
+from repro.query import line_query
+from repro.workloads import mapping_line_instance
+
+
+def family(k):
+    """k parallel chains with fan-out ends but a perfect-matching core.
+
+    ``R2`` is a k-matching, so the output is only ``k·fan²`` while the
+    subjoin/partial join on ``{e1, e3}`` is ``(k·fan)²``-ish — the
+    structure that separates worst-case cost from instance cost.
+    """
+    fan = 4
+    schemas, data = mapping_line_instance(
+        [k * fan, k, k, k * fan], ["onto", "one1", "fanout"])
+    return schemas, data
+
+
+def sweep():
+    rows = []
+    M, B = 4, 2
+    q = line_query(3)
+    for k in (4, 8, 16):
+        schemas, data = family(k)
+        m = run_em(q, schemas, data, line3_join, M, B)
+        n_total = sum(len(t) for t in data.values())
+        instance_target = n_total / B + m["results"] / (M * B)
+        rows.append({"k": k, "inputs": n_total,
+                     "results": m["results"], "io": m["io"],
+                     "instance target": round(instance_target, 1),
+                     "io/target": m["io"] / instance_target})
+    return rows
+
+
+def test_instance_optimality_probe(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Open problem 2 probe: worst-case-optimal vs the "
+                "instance target", rows, capsys)
+    # The worst-case-optimal algorithm is NOT instance optimal: its
+    # ratio to the instance target must not stay constant.  (A constant
+    # ratio here would actually *refute* the probe, not the paper.)
+    ratios = [r["io/target"] for r in rows]
+    assert all(r >= 0.9 for r in ratios)
+    assert ratios[-1] > 1.15 * ratios[0]

@@ -1,0 +1,80 @@
+"""Experiment T1-acyclic — Table 1, row "General acyclic join".
+
+Paper claim: Algorithm 2's cost is
+``min_{S∈GenS} max_{S∈S} Ψ(R,S)`` (Theorem 3), and the algorithm is
+worst-case optimal for every acyclic query with ``n ≤ 8`` relations.
+We run a mixed zoo of general acyclic shapes (not just the named
+families) and check measured I/O against the per-instance Theorem 3
+bound and the ψ lower bound.
+"""
+
+from _util import best_branch, print_table
+from repro.analysis import gens_bound, lower_bound
+from repro.query import JoinQuery
+from repro.workloads import cross_product_instance
+
+
+def caterpillar():
+    """A star whose core also chains onward — general acyclic."""
+    return JoinQuery(edges={
+        "e1": frozenset({"a", "b"}),
+        "e2": frozenset({"b", "c", "d"}),
+        "e3": frozenset({"d", "e", "f"}),
+        "e4": frozenset({"c", "u4"}),
+        "e5": frozenset({"e", "u5"}),
+        "e6": frozenset({"f", "u6"}),
+    })
+
+
+def broom():
+    """A path ending in a fan of petals."""
+    return JoinQuery(edges={
+        "e1": frozenset({"a", "b"}),
+        "e2": frozenset({"b", "c"}),
+        "e3": frozenset({"c", "p", "q"}),
+        "e4": frozenset({"p", "x"}),
+        "e5": frozenset({"q", "y"}),
+    })
+
+
+def sweep():
+    rows = []
+    M, B = 4, 2
+    for name, q in [("caterpillar", caterpillar()), ("broom", broom())]:
+        for scale in (3, 4):
+            # Join domains of 2 keep every relation at least M tuples
+            # big — the paper's standing assumption N(e) >= M, without
+            # which ceiling effects dominate the measurement.
+            dom = {a: (scale if a.startswith(("u", "x", "y", "a"))
+                       else 2) for a in q.attributes}
+            schemas, data = cross_product_instance(q, dom)
+            sizes = {e: len(t) for e, t in data.items()}
+            sized_q = q.with_sizes(sizes)
+            m = best_branch(sized_q, schemas, data, M, B, limit=16)
+            lb = lower_bound(sized_q, data, schemas, M, B) \
+                + sum(sizes.values()) / B
+            gb = gens_bound(sized_q, data, schemas, M, B) \
+                + sum(sizes.values()) / B
+            rows.append({"query": name, "scale": scale,
+                         "io": m["io"],
+                         "io/gens(thm3)": m["io"] / gb,
+                         "io/lower": m["io"] / lb,
+                         "gens/lower": gb / lb,
+                         "results": m["results"]})
+    return rows
+
+
+def test_general_acyclic(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Table 1 / general acyclic: Theorem 3 bound vs measured",
+                rows, capsys)
+    for r in rows:
+        # Theorem 3: the best branch respects its own GenS budget
+        # (generous constant: at these scales group sizes sit right at
+        # M, so per-chunk ceilings — which the paper explicitly elides
+        # under N(e) >= M — are visible).
+        assert r["io/gens(thm3)"] <= 32
+        # n <= 8 optimality: on these worst-case-style instances the
+        # Theorem 3 bound *coincides* with the psi lower bound — the
+        # bound pair is tight, which is the optimality statement.
+        assert r["gens/lower"] <= 1.5

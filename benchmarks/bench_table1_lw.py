@@ -1,0 +1,64 @@
+"""Experiment T1-LW — Table 1, row "LW join LW_n" (prior work, [6]).
+
+Paper context: Loomis–Whitney joins cost
+``∏ (N_i/(M))^{1/(n-1)} · M/B``-shaped I/O in external memory
+(for equal sizes ``(N/M)^{n/(n-1)} · M/B``), optimality unknown.  The
+grid algorithm is swept on dense equal-size inputs for ``LW_3`` and
+``LW_4`` against that formula.
+"""
+
+import math
+
+from _util import print_table, run_em
+from repro.core.lw import lw_join, lw_query
+
+
+def dense_lw_instance(n, k):
+    """Each relation = the full k^{n-1} grid over its attributes."""
+    q = lw_query(n)
+    schemas = {e: tuple(sorted(q.edges[e])) for e in q.edges}
+    rows = [tuple(idx) for idx in _grid(k, n - 1)]
+    data = {e: rows for e in schemas}
+    return q, schemas, data
+
+
+def _grid(k, d):
+    out = [()]
+    for _ in range(d):
+        out = [r + (x,) for r in out for x in range(k)]
+    return out
+
+
+def lw_bound(n, size, M, B):
+    return (size / M) ** (n / (n - 1)) * M / B + n * size / B
+
+
+def sweep():
+    rows = []
+    for n, ks in [(3, (8, 12, 16)), (4, (4, 6))]:
+        for k in ks:
+            q, schemas, data = dense_lw_instance(n, k)
+            size = len(data["e1"])
+            M, B = 32, 4
+            m = run_em(q, schemas, data, lw_join, M, B)
+            bound = lw_bound(n, size, M, B)
+            rows.append({"n": n, "N": size, "io": m["io"],
+                         "(N/M)^{n/(n-1)}M/B": round(bound, 1),
+                         "io/bound": m["io"] / bound,
+                         "results": m["results"]})
+    return rows
+
+
+def test_lw_table1_row(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Table 1 / LW_n: grid algorithm vs the cited bound",
+                rows, capsys)
+    for r in rows:
+        # dense grids: every attribute combination is a result
+        k = round(r["N"] ** (1.0 / (r["n"] - 1)))
+        assert r["results"] == k ** r["n"]
+        assert r["io/bound"] <= 12.0
+    # Shape: flat ratio across N per n.
+    for n in (3, 4):
+        fam = [r["io/bound"] for r in rows if r["n"] == n]
+        assert max(fam) / min(fam) <= 3.0

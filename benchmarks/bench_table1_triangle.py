@@ -1,0 +1,56 @@
+"""Experiment T1-triangle — Table 1, row "Triangle C3" (prior work).
+
+Paper context: the triangle query has external-memory cost
+``√(N1·N2·N3/M)/B`` — for equal sizes ``N^{3/2}/(√M·B)`` — optimal on
+equal sizes [7, 12].  Our grid-partitioning implementation is swept on
+clique inputs against that formula and against the naive blocked
+3-nested-loop bound ``N²·N/(M²B)``-style cascade.
+"""
+
+import math
+
+from _util import print_table, run_em
+from repro.core import CountingEmitter
+from repro.core.triangle import triangle_join
+from repro.query import triangle_query
+
+
+def clique_instance(k):
+    rows = [(i, j) for i in range(k) for j in range(k)]
+    schemas = {"e1": ("v1", "v2"), "e2": ("v1", "v3"),
+               "e3": ("v2", "v3")}
+    return schemas, {"e1": rows, "e2": rows, "e3": rows}
+
+
+def triangle_bound(n, M, B):
+    return math.sqrt(n ** 3 / M) / B + 3 * n / B
+
+
+def sweep():
+    rows = []
+    for k, M, B in [(8, 32, 4), (12, 32, 4), (16, 32, 4),
+                    (12, 16, 4), (12, 64, 4)]:
+        schemas, data = clique_instance(k)
+        n = k * k
+        m = run_em(triangle_query(), schemas, data, triangle_join, M, B)
+        bound = triangle_bound(n, M, B)
+        rows.append({"N": n, "M": M, "B": B, "io": m["io"],
+                     "N^1.5/(sqrtM*B)": round(bound, 1),
+                     "io/bound": m["io"] / bound,
+                     "triangles": m["results"]})
+    return rows
+
+
+def test_triangle_table1_row(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Table 1 / triangle C3: grid algorithm vs "
+                "N^{3/2}/(sqrt(M)B)", rows, capsys)
+    # Clique on k vertices: k³ directed triangle assignments.
+    for r in rows:
+        k = int(math.isqrt(r["N"]))
+        assert r["triangles"] == k ** 3
+        assert r["io/bound"] <= 12.0
+    # Shape: ratio stays flat as N doubles at fixed M.
+    fixed_m = [r for r in rows if r["M"] == 32 and r["B"] == 4]
+    ratios = [r["io/bound"] for r in fixed_m]
+    assert max(ratios) / min(ratios) <= 2.5

@@ -1,0 +1,59 @@
+"""Experiment E-yann — Section 1.2: the emit-model gap.
+
+Paper claim: the external-memory port of Yannakakis' algorithm
+(pairwise joins, materialized output, ``Õ(|Q(R)|/B)``) is worse than
+the optimal algorithm by a factor up to ``M`` already for two
+relations, and the gap grows as more relations join.  Sweep ``M`` on
+cross-product and Figure 3 families and report the ratio.
+"""
+
+from _util import print_table, run_em
+from repro.core import line3_join, sort_merge_join, yannakakis_em
+from repro.query import line_query
+from repro.workloads import fig3_line3_instance, schemas_for
+
+
+def two_rel_runner(query, instance, emitter):
+    sort_merge_join(instance["e1"], instance["e2"], emitter)
+
+
+def sweep():
+    rows = []
+    B = 2
+    n = 96
+    # two relations, full cross product
+    q2 = line_query(2)
+    schemas2 = schemas_for(q2)
+    data2 = {"e1": [(i, 0) for i in range(n)],
+             "e2": [(0, j) for j in range(n)]}
+    # L3, Figure 3
+    q3 = line_query(3)
+    schemas3, data3 = fig3_line3_instance(n, n)
+    for M in (4, 8, 16, 32):
+        opt2 = run_em(q2, schemas2, data2, two_rel_runner, M, B)
+        base2 = run_em(q2, schemas2, data2, yannakakis_em, M, B,
+                       reduce_first=False)
+        opt3 = run_em(q3, schemas3, data3, line3_join, M, B)
+        base3 = run_em(q3, schemas3, data3, yannakakis_em, M, B,
+                       reduce_first=False)
+        rows.append({"M": M,
+                     "2rel opt": opt2["io"], "2rel yann": base2["io"],
+                     "2rel gap": base2["io"] / opt2["io"],
+                     "L3 opt": opt3["io"], "L3 yann": base3["io"],
+                     "L3 gap": base3["io"] / opt3["io"]})
+    return rows
+
+
+def test_emit_model_gap(benchmark, capsys):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Section 1.2: emit-model gap vs external Yannakakis",
+                rows, capsys)
+    # Shape 1: the baseline never wins.
+    for r in rows:
+        assert r["2rel gap"] >= 1.0
+        assert r["L3 gap"] >= 1.0
+    # Shape 2: the gap grows with M on both queries.
+    gaps2 = [r["2rel gap"] for r in rows]
+    gaps3 = [r["L3 gap"] for r in rows]
+    assert gaps2[-1] > 1.5 * gaps2[0]
+    assert gaps3[-1] > 1.5 * gaps3[0]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables in EXPERIMENTS.md.
+
+Runs every benchmark module's ``sweep()`` (the same measurements the
+pytest harness asserts on) and prints the tables as markdown, so
+EXPERIMENTS.md can be refreshed with
+``python benchmarks/generate_report.py > measured.md`` and pasted.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+EXPERIMENTS = [
+    ("T1-2rel", "bench_table1_two_relations", "sweep",
+     "Table 1 / two relations"),
+    ("T1-line3", "bench_table1_line3", "sweep", "Table 1 / L3 (Thm 1)"),
+    ("T1-line4", "bench_table1_line4", "sweep", "Table 1 / L4"),
+    ("T1-acyclic", "bench_table1_acyclic", "sweep",
+     "Table 1 / general acyclic (Thm 2-3)"),
+    ("T1-star", "bench_table1_star", "sweep",
+     "Table 1 / star (Cor 1, Thm 4)"),
+    ("T1-equal", "bench_table1_equal_sizes", "sweep",
+     "Table 1 / equal sizes (Thm 7)"),
+    ("F1", "bench_fig1_subjoin_vs_partial", "sweep",
+     "Figure 1: subjoin vs partial join"),
+    ("F3", "bench_fig3_lower_bound", "sweep",
+     "Figure 3: the L3 lower bound"),
+    ("G", "bench_gens_examples", "branch_costs",
+     "GenS worked examples (L5 branches)"),
+    ("E-L5", "bench_line5_unbalanced", "sweep",
+     "Unbalanced L5 (Alg 4 crossover)"),
+    ("E-L7", "bench_line7_unbalanced", "sweep",
+     "Unbalanced L7 (Alg 5)"),
+    ("E-yann", "bench_yannakakis_gap", "sweep",
+     "Emit-model gap (Sec 1.2)"),
+    ("E-lollipop", "bench_lollipop", "sweep", "Lollipop (Sec 7.2)"),
+    ("E-dumbbell", "bench_dumbbell", "sweep", "Dumbbell (Sec 7.3)"),
+    ("E-agm", "bench_agm_internal", "sweep",
+     "AGM / internal column"),
+    ("T1-triangle", "bench_table1_triangle", "sweep",
+     "Table 1 / triangle C3"),
+    ("T1-LW", "bench_table1_lw", "sweep", "Table 1 / LW_n"),
+    ("M-scale", "bench_memory_scaling", "sweep",
+     "I/O vs M (the 1/M law)"),
+    ("O2-probe", "bench_instance_optimality_probe", "sweep",
+     "Open problem 2 probe"),
+    ("A-branch", "bench_ablation_strategies", "sweep",
+     "Strategy ablation"),
+    ("E-line-bal", "bench_line_balanced", "sweep",
+     "Theorems 5-6 balanced lines"),
+]
+
+
+def markdown_table(rows) -> str:
+    if not rows:
+        return "(no rows)\n"
+    cols = list(rows[0].keys())
+    out = ["| " + " | ".join(str(c) for c in cols) + " |",
+           "|" + "|".join("---" for _ in cols) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(_fmt(r[c]) for c in cols) + " |")
+    return "\n".join(out) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def main() -> None:
+    for exp_id, module_name, fn_name, title in EXPERIMENTS:
+        module = importlib.import_module(module_name)
+        rows = getattr(module, fn_name)()
+        print(f"### {exp_id} — {title}\n")
+        print(markdown_table(rows))
+
+
+if __name__ == "__main__":
+    main()

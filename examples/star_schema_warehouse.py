@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Star-schema warehouse: fact table core, dimension-petal join.
+
+The classic OLAP star schema is exactly the paper's star join
+(Section 5): a fact table ``sales(cust_id, prod_id, store_id)`` at the
+core, and dimension tables hanging off each key.  This example builds a
+synthetic warehouse, runs Algorithm 2 (best peel branch) against the
+external-memory Yannakakis baseline across memory sizes, and shows the
+emit-model gap of Section 1.2 on a workload people actually run.
+
+Run:  python examples/star_schema_warehouse.py
+"""
+
+import random
+
+from repro import Device, Instance
+from repro.core import CountingEmitter, acyclic_join_best, yannakakis_em
+from repro.query import JoinQuery
+
+
+def build_warehouse(n_facts: int, n_dim: int, seed: int = 42):
+    """A star schema with heavy-hitter customers (realistic skew)."""
+    rng = random.Random(seed)
+    schemas = {
+        "sales": ("cust_id", "prod_id", "store_id"),
+        "customers": ("cust_id", "cust_name"),
+        "products": ("prod_id", "prod_name"),
+        "stores": ("store_id", "store_city"),
+    }
+    n_keys = max(2, n_dim)
+    facts = set()
+    while len(facts) < n_facts:
+        # 60% of sales concentrate on two hot customers.
+        cust = rng.randrange(2) if rng.random() < 0.6 \
+            else rng.randrange(n_keys)
+        facts.add((cust, rng.randrange(n_keys), rng.randrange(n_keys)))
+    data = {
+        "sales": sorted(facts),
+        "customers": [(i, 1000 + i) for i in range(n_keys)],
+        "products": [(i, 2000 + i) for i in range(n_keys)],
+        "stores": [(i, 3000 + i) for i in range(n_keys)],
+    }
+    query = JoinQuery(edges={
+        "sales": frozenset({"cust_id", "prod_id", "store_id"}),
+        "customers": frozenset({"cust_id", "cust_name"}),
+        "products": frozenset({"prod_id", "prod_name"}),
+        "stores": frozenset({"store_id", "store_city"}),
+    }, sizes={e: len(t) for e, t in data.items()})
+    return query, schemas, data
+
+
+def main() -> None:
+    query, schemas, data = build_warehouse(n_facts=300, n_dim=24)
+    print("warehouse sizes:", {e: len(t) for e, t in data.items()})
+    print(f"{'M':>4} {'B':>3} {'alg2 io':>8} {'yann io':>8} "
+          f"{'gap':>6} {'results':>8}")
+    for M in (16, 32, 64):
+        B = 4
+        device = Device(M=M, B=B)
+        instance = Instance.from_dicts(device, schemas, data)
+        best = acyclic_join_best(query, instance, limit=12)
+
+        device2 = Device(M=M, B=B)
+        instance2 = Instance.from_dicts(device2, schemas, data)
+        counter = CountingEmitter()
+        yannakakis_em(query, instance2, counter)
+        assert counter.count == best.best.emitted
+        gap = device2.stats.total / best.io
+        print(f"{M:>4} {B:>3} {best.io:>8} {device2.stats.total:>8} "
+              f"{gap:>6.2f} {best.best.emitted:>8}")
+    print("\nThe baseline writes every intermediate and its output;")
+    print("Algorithm 2 holds them in memory chunks — the Section 1.2")
+    print("emit-model advantage.  On worst-case (cross-product-like)")
+    print("inputs the gap grows to a factor of M; see")
+    print("benchmarks/bench_yannakakis_gap.py for that sweep.")
+
+
+if __name__ == "__main__":
+    main()

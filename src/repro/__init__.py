@@ -1,0 +1,37 @@
+"""repro — worst-case I/O-optimal acyclic joins in simulated external memory.
+
+A faithful, executable reproduction of Hu & Yi, *Towards a Worst-Case
+I/O-Optimal Algorithm for Acyclic Joins* (PODS 2016): the paper's
+Algorithms 1–6, the external-memory model they run in, the
+internal-memory baselines they compare against, and the worst-case
+instance constructions from every optimality proof.
+
+Quickstart::
+
+    from repro import Device, Instance, line_query
+    from repro.core import CountingEmitter, acyclic_join_best
+
+    q = line_query(3)
+    dev = Device(M=64, B=8)
+    inst = Instance.from_dicts(dev, {
+        "e1": ("v1", "v2"), "e2": ("v2", "v3"), "e3": ("v3", "v4"),
+    }, data)
+    emitter = CountingEmitter()
+    acyclic_join_best(q, inst, emitter)
+    print(emitter.count, dev.stats.total)
+"""
+
+from repro.data import Instance, Relation, RelationSchema
+from repro.em import Device, IOStats
+from repro.query import (JoinQuery, dumbbell_query, is_berge_acyclic,
+                         line_query, lollipop_query, star_query,
+                         triangle_query, two_relation_query)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device", "IOStats", "Instance", "Relation", "RelationSchema",
+    "JoinQuery", "is_berge_acyclic", "line_query", "star_query",
+    "lollipop_query", "dumbbell_query", "triangle_query",
+    "two_relation_query", "__version__",
+]

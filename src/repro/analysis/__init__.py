@@ -1,0 +1,31 @@
+"""Analysis: subjoin/partial-join sizes, Ψ/ψ, Table 1 bounds, certificates."""
+
+from repro.analysis.bounds import (agm_internal_bound, equal_size_bound,
+                                   line3_bound, line4_bound,
+                                   line5_unbalanced_bound,
+                                   line7_cover11_bound,
+                                   line_independent_bound,
+                                   nested_loop_cascade_bound, star_bound,
+                                   two_relation_bound,
+                                   worst_case_branch_bound, worst_case_psi,
+                                   yannakakis_em_bound)
+from repro.analysis.optimality import Certificate, certify
+from repro.analysis.subjoin import (BoundReport, BranchBound, all_subsets,
+                                    dominant_subsets, explain_bound,
+                                    gens_bound, lower_bound,
+                                    partial_join_size, psi_partial,
+                                    psi_subjoin, subjoin_size,
+                                    theorem2_bound)
+
+__all__ = [
+    "subjoin_size", "partial_join_size", "psi_subjoin", "psi_partial",
+    "all_subsets", "lower_bound", "theorem2_bound", "gens_bound",
+    "dominant_subsets", "explain_bound", "BoundReport", "BranchBound",
+    "two_relation_bound", "line3_bound", "line4_bound",
+    "line_independent_bound", "line5_unbalanced_bound",
+    "line7_cover11_bound", "star_bound", "equal_size_bound",
+    "yannakakis_em_bound", "nested_loop_cascade_bound",
+    "worst_case_psi", "worst_case_branch_bound",
+    "agm_internal_bound",
+    "Certificate", "certify",
+]

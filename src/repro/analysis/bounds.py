@@ -1,0 +1,154 @@
+"""Closed-form I/O bounds: the external-memory column of Table 1.
+
+Each function returns the paper's worst-case bound (up to the hidden
+log factor and constants of the Õ notation) as a function of relation
+sizes and the model parameters ``M``, ``B``.  Benchmarks report
+``measured I/O / bound``; across a sweep this ratio staying bounded is
+the reproduction's "shape" check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.query.covers import cover_number
+from repro.query.hypergraph import JoinQuery
+from repro.query.lines import line_bound
+
+
+def two_relation_bound(n1: int, n2: int, M: int, B: int) -> float:
+    """Table 1 row "Two relations": ``N1·N2/(MB)`` (+ linear terms)."""
+    return n1 * n2 / (M * B) + (n1 + n2) / B
+
+
+def line3_bound(n1: int, n3: int, M: int, B: int, *,
+                n2: int = 0) -> float:
+    """Theorem 1: ``Õ(N1·N3/(MB))`` with the hidden linear term."""
+    return n1 * n3 / (M * B) + (n1 + n2 + n3) / B
+
+
+def line4_bound(sizes: Sequence[int], M: int, B: int) -> float:
+    """Table 1 row ``L4``: ``min(N1·N3·N4, N1·N2·N4)/(M²B)``.
+
+    The two terms correspond to the two peeling strategies of
+    Section 4.2; the "smart" algorithm attains the minimum.
+    """
+    n1, n2, n3, n4 = sizes
+    main = min(n1 * n3 * n4, n1 * n2 * n4) / (M ** 2 * B)
+    pairs = max(n1 * n4, n1 * n3, n2 * n4) / (M * B)
+    return main + pairs + sum(sizes) / B
+
+
+def line_independent_bound(sizes: Sequence[int], M: int, B: int, *,
+                           allow_adjacent_pair: int | None = None) -> float:
+    """Corollary 2 / Theorem 6: max over independent edge subsets.
+
+    ``max_S ∏_{e∈S} N(e) / (M^{|S|-1} B)`` over subsets with no two
+    consecutive edges (optionally allowing the pair ``e_k, e_{k+1}``
+    for Theorem 6's even case), plus the linear term.
+    """
+    return (line_bound(sizes, M, B,
+                       allow_adjacent_pair=allow_adjacent_pair)
+            + sum(sizes) / B)
+
+
+def line5_unbalanced_bound(sizes: Sequence[int], M: int, B: int) -> float:
+    """Section 6.3's unbalanced ``L5`` lower bound.
+
+    When ``N1·N3·N5 < N2·N4`` the Theorem 5 construction is infeasible
+    and the bound drops to
+    ``Õ(N1·N3·N5/(M²B) + N2/B + N4/B + (pair terms))``.
+    """
+    n1, n2, n3, n4, n5 = sizes
+    pairs = max(n1 * n3, n1 * n4, n1 * n5, n2 * n4, n2 * n5,
+                n3 * n5) / (M * B)
+    return (n1 * n3 * n5 / (M ** 2 * B) + n2 / B + n4 / B + pairs
+            + sum(sizes) / B)
+
+
+def line7_cover11_bound(sizes: Sequence[int], M: int, B: int) -> float:
+    """Section 6.3's ``L7`` bound for optimal cover ``(1,1,0,1,0,1,1)``.
+
+    ``Õ(N1·N3·N5·N7/(M³B) + N1·N7·(N2 + N4 + N6)/(M²B) + linear)`` —
+    the reduction pays ``N1/M · N7/M`` times the middle Algorithm 4.
+    """
+    n1, n2, n3, n4, n5, n6, n7 = sizes
+    mid = line5_unbalanced_bound(sizes[1:6], M, B)
+    return (n1 / M) * (n7 / M) * mid + sum(sizes) / B
+
+
+def star_bound(core_size: int, petal_sizes: Sequence[int], M: int,
+               B: int) -> float:
+    """Corollary 1's first term: ``∏ N_i / (M^{n-1} B)`` for the petals.
+
+    The second term of (5) is instance-dependent (``max ψ``); use
+    :func:`repro.analysis.subjoin.lower_bound` for it.
+    """
+    n = len(petal_sizes)
+    return (math.prod(petal_sizes) / (M ** (n - 1) * B)
+            + (core_size + sum(petal_sizes)) / B)
+
+
+def equal_size_bound(query: JoinQuery, N: int, M: int, B: int) -> float:
+    """Theorem 7: ``(N/M)^c · M/B`` with ``c`` the min edge cover number."""
+    c = cover_number(query)
+    return (N / M) ** c * M / B + len(query.edges) * N / B
+
+
+def yannakakis_em_bound(output_size: int, input_total: int, M: int,
+                        B: int) -> float:
+    """The pairwise baseline: ``Õ(|Q(R)|/B)`` plus linear terms.
+
+    In the emit model this is up to a factor ``M`` worse than optimal
+    (Section 1.2): the optimal algorithms pay ``|Q(R)|/(M^{k}B)``-style
+    terms instead.
+    """
+    return output_size / B + input_total / B
+
+
+def nested_loop_cascade_bound(sizes: Sequence[int], M: int,
+                              B: int) -> float:
+    """The naive ``n``-deep nested loop: ``∏ N_i / (M^{n-1} B)``.
+
+    The strawman Section 3 improves on for ``L3`` (where it pays
+    ``N1·N2·N3/(M²B)`` versus Algorithm 1's ``N1·N3/(MB)``).
+    """
+    n = len(sizes)
+    return math.prod(sizes) / (M ** (n - 1) * B) + sum(sizes) / B
+
+
+def worst_case_psi(query: JoinQuery, subset, M: int, B: int) -> float:
+    """``max_R Ψ(R, S)``: the worst-case subjoin cost from sizes alone.
+
+    The worst-case size of the subjoin on ``S`` is the product, over
+    ``S``'s connected components, of each component's AGM bound (the
+    cross product couples disconnected components).  This is the
+    quantity the paper compares branch collections with ("in terms of
+    the worst case", Section 4.2's ``S1..S4`` discussion).
+    """
+    from repro.query.covers import agm_bound as _agm
+
+    subset = sorted(set(subset))
+    if not subset:
+        return 0.0
+    size = 1.0
+    for component in query.connected_components(subset):
+        sub_q = query.drop_edges([e for e in query.edges
+                                  if e not in component])
+        size *= _agm(sub_q)
+    return size / (M ** (len(subset) - 1) * B)
+
+
+def worst_case_branch_bound(query: JoinQuery, collection, M: int,
+                            B: int) -> float:
+    """``max_{S ∈ collection} max_R Ψ(R, S)`` for one GenS branch."""
+    return max((worst_case_psi(query, s, M, B) for s in collection if s),
+               default=0.0)
+
+
+def agm_internal_bound(query: JoinQuery) -> float:
+    """Table 1's internal-memory column: the AGM bound itself."""
+    from repro.query.covers import agm_bound
+
+    return agm_bound(query)

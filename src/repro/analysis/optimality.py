@@ -1,0 +1,63 @@
+"""Optimality certificates: relating measured I/O to the paper's bounds.
+
+A *certificate* compares three numbers for one run:
+
+* ``lower`` — the instance's lower bound ``max_S ψ(R, S)``;
+* ``upper`` — Theorem 3's bound ``min_{S∈GenS} max_S Ψ(R, S)``;
+* ``measured`` — the I/O the algorithm actually performed.
+
+Worst-case optimality in the paper means upper and lower meet on the
+worst instance of each family; the constructions in
+:mod:`repro.workloads.worstcase` realize those instances, and the
+benchmarks assert ``measured / lower`` stays bounded across sweeps
+(the Õ's log factor and constants are the allowed slack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.subjoin import gens_bound, lower_bound, theorem2_bound
+from repro.query.hypergraph import JoinQuery
+
+Table = list[tuple]
+Schemas = Mapping[str, Sequence[str]]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Bound triple for one (query, instance, M, B) configuration."""
+
+    lower: float
+    gens_upper: float
+    theorem2_upper: float
+    measured: float
+
+    @property
+    def measured_over_lower(self) -> float:
+        """The optimality ratio; Õ-bounded on worst-case families."""
+        return self.measured / self.lower if self.lower > 0 else float("inf")
+
+    @property
+    def measured_over_gens(self) -> float:
+        """How close the run is to its own Theorem 3 budget."""
+        return (self.measured / self.gens_upper if self.gens_upper > 0
+                else float("inf"))
+
+    @property
+    def gap(self) -> float:
+        """``gens_upper / lower`` — 1.0 means the bounds meet exactly."""
+        return (self.gens_upper / self.lower if self.lower > 0
+                else float("inf"))
+
+
+def certify(query: JoinQuery, data: Mapping[str, Table], schemas: Schemas,
+            M: int, B: int, measured_io: float) -> Certificate:
+    """Compute the certificate for one measured run."""
+    return Certificate(
+        lower=lower_bound(query, data, schemas, M, B),
+        gens_upper=gens_bound(query, data, schemas, M, B),
+        theorem2_upper=theorem2_bound(query, data, schemas, M, B),
+        measured=float(measured_io),
+    )

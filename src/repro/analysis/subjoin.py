@@ -1,0 +1,255 @@
+"""Subjoins and partial joins (Section 1.4, Figure 1).
+
+For a subset of relations ``S ⊆ E``:
+
+* the **subjoin** is ``⋈_{e∈S} R(e)``, where relations without common
+  attributes combine by cross product — its size factors over the
+  connected components of ``S``;
+* the **partial join** ``Q(R, S)`` is the projection of the full join
+  ``Q(R)`` onto the attributes of ``S``.
+
+For connected ``S`` on a fully reduced acyclic instance the two
+coincide; for disconnected ``S`` the partial join can be strictly
+smaller (Figure 1's ``(t1, t3)`` example).  The partial join yields the
+*lower* bound ψ, the subjoin the algorithm's *upper* bound Ψ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.internal.hashjoin import join_query, project_assignments
+from repro.query.hypergraph import JoinQuery
+
+Table = list[tuple]
+Schemas = Mapping[str, Sequence[str]]
+
+
+def subjoin_size(query: JoinQuery, data: Mapping[str, Table],
+                 schemas: Schemas, subset: Iterable[str]) -> int:
+    """``|⋈_{e∈S} R(e)|`` — the product over connected components."""
+    subset = sorted(set(subset))
+    if not subset:
+        return 1
+    total = 1
+    for component in query.connected_components(subset):
+        sub_q = query.drop_edges([e for e in query.edges
+                                  if e not in component])
+        total *= len(join_query(sub_q, data, schemas))
+    return total
+
+
+def partial_join_size(query: JoinQuery, data: Mapping[str, Table],
+                      schemas: Schemas, subset: Iterable[str]) -> int:
+    """``|Q(R, S)|`` — the projection of the full join onto ``S``'s attrs."""
+    subset = sorted(set(subset))
+    if not subset:
+        return 1
+    full = join_query(query, data, schemas)
+    attrs: set[str] = set()
+    for e in subset:
+        attrs |= query.edges[e]
+    return len(project_assignments(full, attrs))
+
+
+def psi_subjoin(query: JoinQuery, data: Mapping[str, Table],
+                schemas: Schemas, subset: Iterable[str], M: int,
+                B: int) -> float:
+    """``Ψ(R, S) = |⋈_{e∈S} R(e)| / (M^{|S|-1} B)`` (Section 1.4).
+
+    The minimum I/O cost of computing the subjoin: each block read
+    brings ``B`` tuples that can combine with the ``O(M^{|S|-1})``
+    partial combinations resident in memory.  ``Ψ(R, ∅) = 0``.
+    """
+    subset = sorted(set(subset))
+    if not subset:
+        return 0.0
+    size = subjoin_size(query, data, schemas, subset)
+    return size / (M ** (len(subset) - 1) * B)
+
+
+def psi_partial(query: JoinQuery, data: Mapping[str, Table],
+                schemas: Schemas, subset: Iterable[str], M: int,
+                B: int) -> float:
+    """``ψ(R, S) = |Q(R, S)| / (M^{|S|-1} B)`` — the lower-bound term."""
+    subset = sorted(set(subset))
+    if not subset:
+        return 0.0
+    size = partial_join_size(query, data, schemas, subset)
+    return size / (M ** (len(subset) - 1) * B)
+
+
+def all_subsets(query: JoinQuery) -> list[frozenset[str]]:
+    """Every nonempty subset of the query's edges."""
+    names = query.edge_names
+    out = []
+    for mask in range(1, 1 << len(names)):
+        out.append(frozenset(names[i] for i in range(len(names))
+                             if mask >> i & 1))
+    return out
+
+
+def lower_bound(query: JoinQuery, data: Mapping[str, Table],
+                schemas: Schemas, M: int, B: int) -> float:
+    """``max_S ψ(R, S)`` over all subsets — the paper's I/O lower bound.
+
+    Any algorithm must compute every partial join at least implicitly
+    (it is a projection of the output), so the largest ψ term bounds
+    the worst-case I/O from below (Section 1.4).  The full join is
+    computed once and projected per subset.
+    """
+    full = join_query(query, data, schemas)
+    best = 0.0
+    for s in all_subsets(query):
+        attrs: set[str] = set()
+        for e in s:
+            attrs |= query.edges[e]
+        size = len(project_assignments(full, attrs))
+        best = max(best, size / (M ** (len(s) - 1) * B))
+    return best
+
+
+class _SubjoinCache:
+    """Memoizes connected-component join sizes across many subsets.
+
+    Both Theorem 2's and Theorem 3's bounds evaluate Ψ on exponentially
+    many subsets whose connected components heavily overlap; caching
+    per-component sizes makes those evaluations cheap.
+    """
+
+    def __init__(self, query: JoinQuery, data: Mapping[str, Table],
+                 schemas: Schemas) -> None:
+        self._query = query
+        self._data = data
+        self._schemas = schemas
+        self._component_sizes: dict[frozenset[str], int] = {}
+
+    def subjoin_size(self, subset) -> int:
+        subset = frozenset(subset)
+        if not subset:
+            return 1
+        total = 1
+        for component in self._query.connected_components(subset):
+            size = self._component_sizes.get(component)
+            if size is None:
+                sub_q = self._query.drop_edges(
+                    [e for e in self._query.edges if e not in component])
+                size = len(join_query(sub_q, self._data, self._schemas))
+                self._component_sizes[component] = size
+            total *= size
+        return total
+
+    def psi(self, subset, M: int, B: int) -> float:
+        subset = frozenset(subset)
+        if not subset:
+            return 0.0
+        return self.subjoin_size(subset) / (M ** (len(subset) - 1) * B)
+
+
+def theorem2_bound(query: JoinQuery, data: Mapping[str, Table],
+                   schemas: Schemas, M: int, B: int) -> float:
+    """Theorem 2's upper bound: ``max_{S ⊆ E} Ψ(R, S)``."""
+    cache = _SubjoinCache(query, data, schemas)
+    return max((cache.psi(s, M, B) for s in all_subsets(query)),
+               default=0.0)
+
+
+def gens_bound(query: JoinQuery, data: Mapping[str, Table],
+               schemas: Schemas, M: int, B: int) -> float:
+    """Theorem 3's upper bound: ``min_{S∈GenS(Q)} max_{S∈S} Ψ(R, S)``."""
+    from repro.query.gens import gens_all
+
+    cache = _SubjoinCache(query, data, schemas)
+    best = math.inf
+    for collection in gens_all(query):
+        worst = max((cache.psi(s, M, B) for s in collection if s),
+                    default=0.0)
+        best = min(best, worst)
+    return 0.0 if best is math.inf else best
+
+
+def explain_bound(query: JoinQuery, data: Mapping[str, Table],
+                  schemas: Schemas, M: int, B: int) -> "BoundReport":
+    """Theorem 3's bound with witnesses, branch by branch.
+
+    The paper notes the general worst-case complexity "is a function …
+    very complex" (Section 1.4); rather than a closed form, this
+    returns the whole structure: per GenS branch, the dominating subset
+    and its Ψ value, plus the overall min-max and the ψ lower bound —
+    the report the optimality argument actually needs.
+    """
+    from repro.query.gens import gens_all
+
+    cache = _SubjoinCache(query, data, schemas)
+    branches = []
+    for collection in sorted(gens_all(query),
+                             key=lambda b: sorted(map(sorted, b))):
+        worst_s: frozenset[str] = frozenset()
+        worst = 0.0
+        for s in collection:
+            if not s:
+                continue
+            v = cache.psi(s, M, B)
+            if v > worst:
+                worst, worst_s = v, s
+        branches.append(BranchBound(collection_size=len(collection),
+                                    worst_subset=worst_s, bound=worst))
+    best_index = min(range(len(branches)),
+                     key=lambda i: branches[i].bound) if branches else -1
+    return BoundReport(branches=tuple(branches), best_index=best_index,
+                       lower=lower_bound(query, data, schemas, M, B))
+
+
+@dataclass(frozen=True)
+class BranchBound:
+    """One GenS branch's dominating subjoin and cost."""
+
+    collection_size: int
+    worst_subset: frozenset[str]
+    bound: float
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """The Theorem 3 min-max with witnesses (see :func:`explain_bound`)."""
+
+    branches: tuple[BranchBound, ...]
+    best_index: int
+    lower: float
+
+    @property
+    def best(self) -> BranchBound:
+        return self.branches[self.best_index]
+
+    @property
+    def gens_bound(self) -> float:
+        """``min_branch max_S Ψ`` — identical to :func:`gens_bound`."""
+        return self.best.bound
+
+    @property
+    def gap(self) -> float:
+        return (self.gens_bound / self.lower if self.lower > 0
+                else float("inf"))
+
+    def render(self) -> str:
+        lines = [f"psi lower bound: {self.lower:.2f}",
+                 f"gens bound     : {self.gens_bound:.2f} "
+                 f"(gap {self.gap:.2f})"]
+        for i, b in enumerate(self.branches):
+            marker = "*" if i == self.best_index else " "
+            subset = "+".join(sorted(b.worst_subset)) or "(empty)"
+            lines.append(f" {marker} branch {i}: max Psi = {b.bound:.2f} "
+                         f"at {subset} ({b.collection_size} subsets)")
+        return "\n".join(lines)
+
+
+def dominant_subsets(query: JoinQuery, data: Mapping[str, Table],
+                     schemas: Schemas, M: int, B: int,
+                     top: int = 5) -> list[tuple[frozenset[str], float]]:
+    """The subsets with the largest ψ terms, for reports."""
+    scored = [(s, psi_partial(query, data, schemas, s, M, B))
+              for s in all_subsets(query)]
+    scored.sort(key=lambda p: (-p[1], sorted(p[0])))
+    return scored[:top]

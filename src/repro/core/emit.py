@@ -1,0 +1,111 @@
+"""The emit model (Section 1.1).
+
+For each join result the algorithm calls an ``emit`` function with all
+participating tuples, which must reside in memory at the time of the
+call but need not be written to disk.  A result is represented as a
+mapping from edge name to that relation's participating tuple.
+
+Emitters:
+
+* :class:`CountingEmitter` — counts results and keeps an
+  order-insensitive checksum, so two algorithms can be compared without
+  materializing anything (the normal benchmark configuration);
+* :class:`CollectingEmitter` — stores every result (tests/oracles);
+* :class:`AssignmentEmitter` — converts results to canonical
+  attribute→value assignments on the fly, for comparison with the
+  internal-memory oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Protocol, Sequence
+
+Result = Mapping[str, tuple]
+
+
+class Emitter(Protocol):
+    """Anything accepting emit-model results."""
+
+    def emit(self, result: Result) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class CountingEmitter:
+    """Counts emitted results with an order-insensitive checksum.
+
+    The checksum XORs a hash of each result's canonical form, so equal
+    result *sets* produce equal ``(count, checksum)`` pairs regardless
+    of emission order, and duplicate emissions are detectable through
+    the count.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.checksum = 0
+
+    def emit(self, result: Result) -> None:
+        self.count += 1
+        self.checksum ^= hash(frozenset(result.items()))
+
+    def signature(self) -> tuple[int, int]:
+        return (self.count, self.checksum)
+
+
+class CollectingEmitter:
+    """Stores every emitted result (tests only — unbounded memory)."""
+
+    def __init__(self) -> None:
+        self.results: list[dict[str, tuple]] = []
+
+    def emit(self, result: Result) -> None:
+        self.results.append(dict(result))
+
+    @property
+    def count(self) -> int:
+        return len(self.results)
+
+    def result_set(self) -> set[frozenset]:
+        """Results as a set (detects duplicates via len() mismatch)."""
+        return {frozenset(r.items()) for r in self.results}
+
+
+class AssignmentEmitter:
+    """Converts results to canonical attribute assignments.
+
+    ``schemas`` maps edge names to their physical column tuples; every
+    emitted result is flattened to a sorted ``(attribute, value)`` tuple
+    (consistency across edges is asserted), matching
+    :func:`repro.internal.hashjoin.canonical`.
+    """
+
+    def __init__(self, schemas: Mapping[str, Sequence[str]]) -> None:
+        self._schemas = {e: tuple(s) for e, s in schemas.items()}
+        self.assignments: list[tuple] = []
+
+    def emit(self, result: Result) -> None:
+        merged: dict[str, object] = {}
+        for edge, t in result.items():
+            for attr, value in zip(self._schemas[edge], t):
+                if attr in merged and merged[attr] != value:
+                    raise AssertionError(
+                        f"inconsistent emit: {attr}={merged[attr]!r} vs "
+                        f"{value!r} in result {dict(result)}")
+                merged[attr] = value
+        self.assignments.append(tuple(sorted(merged.items())))
+
+    @property
+    def count(self) -> int:
+        return len(self.assignments)
+
+    def assignment_set(self) -> set[tuple]:
+        return set(self.assignments)
+
+
+class CallbackEmitter:
+    """Adapts a plain function to the emitter interface."""
+
+    def __init__(self, fn: Callable[[Result], None]) -> None:
+        self._fn = fn
+
+    def emit(self, result: Result) -> None:
+        self._fn(result)

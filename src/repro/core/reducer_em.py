@@ -1,0 +1,58 @@
+"""External-memory full reducer (Yannakakis phase one, with I/O charges).
+
+Two semijoin passes over the ear-elimination order of
+:func:`repro.query.reduce.elimination_order`; each semijoin sorts both
+sides on the shared attribute and performs one merge pass, writing the
+filtered relation back to disk.  Total cost ``Õ(Σ N(e)/B)`` — the
+linear term the paper's bounds absorb.
+
+The paper's optimality statements assume fully reduced inputs
+(Section 1.2); the planner runs this reducer first unless told the
+input is already reduced.
+"""
+
+from __future__ import annotations
+
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.query.hypergraph import JoinQuery
+from repro.query.reduce import elimination_order
+
+
+def full_reduce_em(query: JoinQuery, instance: Instance) -> Instance:
+    """Return a fully reduced copy of ``instance`` (I/O charged)."""
+    rels: dict[str, Relation] = dict(instance)
+    steps = elimination_order(query)
+    for step in steps:  # upward: parents filtered by children
+        if step.parent is None:
+            continue
+        rels[step.parent] = _semijoin_em(rels[step.parent],
+                                         rels[step.edge], step.shared_attr)
+    for step in reversed(steps):  # downward: children by parents
+        if step.parent is None:
+            continue
+        rels[step.edge] = _semijoin_em(rels[step.edge],
+                                       rels[step.parent], step.shared_attr)
+    return Instance(rels)
+
+
+def _semijoin_em(rel: Relation, filt: Relation, attr: str) -> Relation:
+    """``rel ⋉ filt`` on ``attr`` by sort + merge, written back to disk."""
+    rel_s = rel.sort_by(attr)
+    filt_s = filt.sort_by(attr)
+    key_l = rel_s.key(attr)
+    key_r = filt_s.key(attr)
+    left = rel_s.data.reader()
+    right = filt_s.data.reader()
+
+    def matches():
+        while not left.exhausted:
+            t = left.next()
+            kv = key_l(t)
+            while not right.exhausted and key_r(right.peek()) < kv:
+                right.next()
+            if not right.exhausted and key_r(right.peek()) == kv:
+                yield t
+
+    return rel_s.rewrite(matches(), label=f"red_{filt.name}",
+                         sorted_on=attr)

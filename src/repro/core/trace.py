@@ -1,0 +1,62 @@
+"""Recursion tracing for Algorithm 2 — "explain" output.
+
+A :class:`RecursionTrace` records one event per structural action the
+``AcyclicJoin`` recursion takes (bud/island/leaf peel, base-case scan),
+with the heavy/light split the leaf handler saw.  It makes the
+algorithm's behaviour inspectable::
+
+    trace = RecursionTrace()
+    acyclic_join(query, instance, emitter, trace=trace)
+    print(trace.render())
+
+Events are cheap metadata (no tuple contents), so tracing full
+benchmark runs is fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recursion step."""
+
+    depth: int
+    action: str              # "scan" | "bud" | "island" | "leaf"
+    edge: str
+    detail: str = ""
+
+
+@dataclass
+class RecursionTrace:
+    """Collects :class:`TraceEvent` rows during a run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, depth: int, action: str, edge: str,
+               detail: str = "") -> None:
+        self.events.append(TraceEvent(depth=depth, action=action,
+                                      edge=edge, detail=detail))
+
+    def counts(self) -> dict[str, int]:
+        """How many times each action fired."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.action] = out.get(e.action, 0) + 1
+        return out
+
+    def render(self, limit: int | None = 200) -> str:
+        """An indented, human-readable recursion transcript."""
+        lines = []
+        shown = self.events if limit is None else self.events[:limit]
+        for e in shown:
+            indent = "  " * e.depth
+            detail = f"  ({e.detail})" if e.detail else ""
+            lines.append(f"{indent}{e.action} {e.edge}{detail}")
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def max_depth(self) -> int:
+        return max((e.depth for e in self.events), default=0)

@@ -1,0 +1,9 @@
+"""Relational substrate: schemas, on-disk relations, instances."""
+
+from repro.data.instance import Instance
+from repro.data.io import (dump_results_csv, instance_from_csv, load_csv)
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+
+__all__ = ["Instance", "Relation", "RelationSchema", "load_csv",
+           "instance_from_csv", "dump_results_csv"]

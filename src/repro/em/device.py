@@ -1,0 +1,105 @@
+"""The simulated external-memory machine.
+
+A :class:`Device` bundles the model parameters ``M`` (memory size, in
+tuples) and ``B`` (block size, in tuples) with the global
+:class:`~repro.em.stats.IOStats` counter and
+:class:`~repro.em.stats.MemoryGauge`.  Every on-disk structure
+(:class:`~repro.em.file.EMFile`) is created through a device so that all
+I/O performed anywhere in an algorithm is charged to one place.
+
+Typical use::
+
+    dev = Device(M=1024, B=32)
+    f = dev.new_file("R1")
+    with f.writer() as w:
+        for t in tuples:
+            w.append(t)
+    print(dev.stats.total)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.em.stats import IOStats, MemoryGauge, PhaseTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.em.file import EMFile
+
+
+class Device:
+    """A simulated disk plus its I/O and memory accounting.
+
+    Parameters
+    ----------
+    M:
+        Main-memory capacity in tuples.  The paper assumes a memory of
+        ``c*M`` for a constant ``c``; see :class:`MemoryGauge`.
+    B:
+        Block (page) size in tuples.  Transferring one block costs one
+        I/O regardless of how full it is.
+    mem_slack:
+        Multiple of ``M`` the memory gauge tolerates before (in strict
+        mode) raising :class:`~repro.em.stats.MemoryBudgetExceeded`.
+    strict_memory:
+        When true, exceeding the slacked budget raises instead of only
+        being recorded in ``memory.peak``.
+    """
+
+    def __init__(self, M: int, B: int, *, mem_slack: float = 8.0,
+                 strict_memory: bool = False) -> None:
+        if M < 1:
+            raise ValueError(f"M must be >= 1, got {M}")
+        if B < 1:
+            raise ValueError(f"B must be >= 1, got {B}")
+        if B > M:
+            raise ValueError(f"block size B={B} cannot exceed memory M={M}")
+        self.M = M
+        self.B = B
+        self.stats = IOStats()
+        self.memory = MemoryGauge(capacity=M, slack=mem_slack,
+                                  strict=strict_memory)
+        self.phases = PhaseTracker(self.stats)
+        self._name_counter = itertools.count()
+
+    def new_file(self, name: str | None = None) -> "EMFile":
+        """Create an empty on-disk file managed by this device."""
+        from repro.em.file import EMFile
+
+        if name is None:
+            name = f"tmp{next(self._name_counter)}"
+        return EMFile(self, name)
+
+    def file_from_tuples(self, tuples, name: str | None = None) -> "EMFile":
+        """Materialize ``tuples`` on disk, charging the write I/Os."""
+        f = self.new_file(name)
+        with f.writer() as w:
+            for t in tuples:
+                w.append(t)
+        return f
+
+    def file_from_tuples_free(self, tuples, name: str | None = None) -> "EMFile":
+        """Materialize ``tuples`` on disk *without* charging I/Os.
+
+        Used to set up benchmark inputs: the paper's model charges for
+        the algorithm's work, not for the pre-existing input relations.
+        """
+        snap = self.stats.snapshot()
+        f = self.file_from_tuples(tuples, name)
+        self.stats.reads = snap.reads
+        self.stats.writes = snap.writes
+        return f
+
+    def pages(self, n_tuples: int) -> int:
+        """Number of pages occupied by ``n_tuples`` tuples."""
+        return -(-n_tuples // self.B)
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters, phase totals, and the memory gauge."""
+        self.stats.reset()
+        self.memory.reset()
+        self.phases.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Device(M={self.M}, B={self.B}, io={self.stats.total})"

@@ -1,0 +1,242 @@
+"""On-disk tuple files for the simulated external-memory machine.
+
+An :class:`EMFile` is an append-only sequence of tuples laid out in
+pages of ``B`` tuples.  All access goes through cursors that charge the
+device's :class:`~repro.em.stats.IOStats`:
+
+* :class:`Writer` buffers up to ``B`` tuples and charges one write per
+  flushed page (including the final partial page).
+* :class:`SequentialReader` charges one read each time it enters a page
+  it has not yet buffered.  Re-scanning a file with a fresh reader
+  charges again, exactly as re-reading from disk would.
+
+A :class:`FileSegment` is a contiguous ``[start, stop)`` slice of a
+file — e.g. ``R(e)|_{v=a}`` inside a file sorted on ``v`` — and reads
+through the same page-granular accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.em.device import Device
+
+Tuple = tuple
+Key = Callable[[Tuple], Any]
+
+
+class EMFile:
+    """A sequence of tuples stored on the simulated disk.
+
+    Files are created through :meth:`repro.em.device.Device.new_file`
+    and populated through :meth:`writer`.  Once the writer is closed the
+    file is sealed and read-only.
+    """
+
+    def __init__(self, device: "Device", name: str) -> None:
+        self.device = device
+        self.name = name
+        self._tuples: list[Tuple] = []
+        self._sealed = False
+
+    # -- writing -----------------------------------------------------
+
+    def writer(self) -> "Writer":
+        """Return a page-buffered writer; usable as a context manager."""
+        if self._sealed:
+            raise RuntimeError(f"file {self.name!r} is sealed")
+        return Writer(self)
+
+    # -- metadata ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def n_pages(self) -> int:
+        """Pages occupied on disk."""
+        return self.device.pages(len(self._tuples))
+
+    # -- reading -----------------------------------------------------
+
+    def reader(self) -> "SequentialReader":
+        """A sequential reader over the whole file."""
+        return SequentialReader(self, 0, len(self._tuples))
+
+    def segment(self, start: int, stop: int) -> "FileSegment":
+        """The contiguous slice ``[start, stop)`` of this file."""
+        if not (0 <= start <= stop <= len(self._tuples)):
+            raise IndexError(f"segment [{start}, {stop}) out of range "
+                             f"for file of length {len(self._tuples)}")
+        return FileSegment(self, start, stop)
+
+    def whole(self) -> "FileSegment":
+        """The file viewed as a single segment."""
+        return FileSegment(self, 0, len(self._tuples))
+
+    def scan(self) -> Iterator[Tuple]:
+        """Iterate all tuples, charging sequential read I/Os."""
+        return iter(self.reader())
+
+    def peek_tuples(self) -> Sequence[Tuple]:
+        """Direct access to the stored tuples **without charging I/O**.
+
+        For test oracles and result verification only; algorithms must
+        never call this.
+        """
+        return self._tuples
+
+
+class Writer:
+    """Page-buffered appender for an :class:`EMFile`."""
+
+    def __init__(self, f: EMFile) -> None:
+        self._file = f
+        self._buffer: list[Tuple] = []
+        self._closed = False
+
+    def append(self, t: Tuple) -> None:
+        """Append one tuple, flushing a page write when the buffer fills."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        self._buffer.append(t)
+        if len(self._buffer) >= self._file.device.B:
+            self._flush()
+
+    def extend(self, ts) -> None:
+        """Append each tuple of ``ts``."""
+        for t in ts:
+            self.append(t)
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._file.device.stats.writes += 1
+            self._file._tuples.extend(self._buffer)
+            self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush the final partial page and seal the file."""
+        if not self._closed:
+            self._flush()
+            self._closed = True
+            self._file._sealed = True
+
+    def __enter__(self) -> "Writer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequentialReader:
+    """Forward cursor over ``[start, stop)`` of a file.
+
+    One read I/O is charged per distinct page entered.  The reader keeps
+    a single page buffered, so interleaving several readers is exactly
+    as expensive as it would be on a one-page-per-stream buffer pool —
+    the configuration the model's merge arguments assume.
+    """
+
+    def __init__(self, f: EMFile, start: int, stop: int) -> None:
+        self._file = f
+        self._pos = start
+        self._stop = stop
+        self._buffered_page = -1
+
+    @property
+    def position(self) -> int:
+        """Absolute index of the next tuple to be returned."""
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._stop
+
+    def remaining(self) -> int:
+        return self._stop - self._pos
+
+    def _touch(self, index: int) -> None:
+        page = index // self._file.device.B
+        if page != self._buffered_page:
+            self._file.device.stats.reads += 1
+            self._buffered_page = page
+
+    def peek(self) -> Tuple:
+        """Return the next tuple without consuming it."""
+        if self.exhausted:
+            raise StopIteration("reader exhausted")
+        self._touch(self._pos)
+        return self._file._tuples[self._pos]
+
+    def next(self) -> Tuple:
+        """Return the next tuple and advance."""
+        t = self.peek()
+        self._pos += 1
+        return t
+
+    def read_up_to(self, n: int) -> list[Tuple]:
+        """Read at most ``n`` further tuples (fewer at end of segment)."""
+        out = []
+        while len(out) < n and not self.exhausted:
+            out.append(self.next())
+        return out
+
+    def skip_to(self, index: int) -> None:
+        """Jump the cursor forward to absolute index ``index``.
+
+        Seeking itself is free (disk arms move without transferring
+        data); the page containing ``index`` is charged when next read.
+        """
+        if index < self._pos:
+            raise ValueError("sequential reader cannot move backwards")
+        self._pos = min(index, self._stop)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        while not self.exhausted:
+            yield self.next()
+
+
+class FileSegment:
+    """A contiguous slice of an :class:`EMFile`.
+
+    Segments arise when a file sorted on an attribute is partitioned by
+    that attribute's values (``R(e)|_{v=a}``), and when sorted runs are
+    handed to a merge.
+    """
+
+    def __init__(self, f: EMFile, start: int, stop: int) -> None:
+        self.file = f
+        self.start = start
+        self.stop = stop
+
+    @property
+    def device(self) -> "Device":
+        return self.file.device
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def n_pages(self) -> int:
+        """Pages this segment's tuples span (including straddled ones)."""
+        if len(self) == 0:
+            return 0
+        B = self.device.B
+        return self.stop // B - self.start // B + (1 if self.stop % B else 0)
+
+    def reader(self) -> SequentialReader:
+        return SequentialReader(self.file, self.start, self.stop)
+
+    def scan(self) -> Iterator[Tuple]:
+        return iter(self.reader())
+
+    def subsegment(self, start: int, stop: int) -> "FileSegment":
+        """Absolute-indexed sub-slice; must lie within this segment."""
+        if not (self.start <= start <= stop <= self.stop):
+            raise IndexError("subsegment out of range")
+        return FileSegment(self.file, start, stop)
+
+    def peek_tuples(self) -> Sequence[Tuple]:
+        """Uncharged access for test oracles only."""
+        return self.file._tuples[self.start:self.stop]

@@ -1,0 +1,146 @@
+"""The chunk-loading operations of Section 2.3 of the paper.
+
+The paper defines skew relative to the memory size ``M``: a value ``a``
+of attribute ``v`` is *heavy* in ``R(e)`` if at least ``M`` tuples of
+``R(e)`` carry it, and *light* otherwise.  After sorting ``R(e)`` on
+``v`` the file decomposes into maximal runs of equal ``v``-value
+(groups), and the paper manipulates them with three operations, all
+reproduced here with exact I/O accounting:
+
+* ``load R(e)|_{v=a} into memory as M(e)`` — read the next ``M`` tuples
+  of one (heavy) group: :func:`load_group_chunks`.
+* ``load R(e) by v into memory as M(e)`` — read light tuples in value
+  order until at least ``M`` are fetched, never splitting a group
+  (yields at most ``2M`` tuples with at most ``M`` distinct values):
+  :func:`load_light_chunks`.
+* ``load R(e) into memory as M(e)`` — read the next ``M`` tuples of an
+  unsorted file: :func:`load_chunks`.
+
+:func:`group_boundaries` performs the single partitioning scan that
+identifies groups (and hence heavy values) after a sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.em.file import FileSegment, Tuple
+
+Key = Callable[[Tuple], Any]
+
+
+@dataclass(frozen=True)
+class Group:
+    """A maximal run of tuples sharing one value on the sort attribute."""
+
+    value: Any
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+    def is_heavy(self, M: int) -> bool:
+        """Heavy means at least ``M`` tuples carry this value (§2.3)."""
+        return self.count >= M
+
+
+def group_boundaries(segment: FileSegment, key: Key) -> list[Group]:
+    """Scan a sorted segment once and return its value groups in order.
+
+    Costs one sequential read of the segment.  The returned boundary
+    list is query-size metadata (one entry per distinct value) which the
+    model lets us keep for free relative to the data pages; algorithms
+    that cannot afford it only ever iterate it streamingly anyway.
+    """
+    groups: list[Group] = []
+    reader = segment.reader()
+    current_value: Any = None
+    current_start = segment.start
+    first = True
+    while not reader.exhausted:
+        pos = reader.position
+        t = reader.next()
+        v = key(t)
+        if first:
+            current_value, current_start, first = v, pos, False
+        elif v != current_value:
+            groups.append(Group(current_value, current_start, pos))
+            current_value, current_start = v, pos
+    if not first:
+        groups.append(Group(current_value, current_start, segment.stop))
+    return groups
+
+
+def split_heavy_light(groups: list[Group], M: int) -> tuple[list[Group], list[Group]]:
+    """Partition groups into (heavy, light) with respect to ``M``."""
+    heavy = [g for g in groups if g.is_heavy(M)]
+    light = [g for g in groups if not g.is_heavy(M)]
+    return heavy, light
+
+
+def load_chunks(segment: FileSegment, M: int) -> Iterator[list[Tuple]]:
+    """Yield successive memory loads of up to ``M`` tuples.
+
+    This is the paper's ``load R(e) into memory as M(e)`` for unsorted
+    files (and for one heavy group when applied to its segment).
+    """
+    reader = segment.reader()
+    while not reader.exhausted:
+        chunk = reader.read_up_to(M)
+        with segment.device.memory.hold(len(chunk)):
+            yield chunk
+
+
+def load_group_chunks(segment: FileSegment, group: Group, M: int) -> Iterator[list[Tuple]]:
+    """Yield ``M``-tuple loads of one group: ``load R(e)|_{v=a}``."""
+    yield from load_chunks(segment.subsegment(group.start, group.stop), M)
+
+
+def load_light_chunks(segment: FileSegment, light_groups: list[Group],
+                      M: int) -> Iterator[list[Tuple]]:
+    """Yield memory loads covering the light groups, in value order.
+
+    Implements ``load R(e) by v into memory as M(e)``: tuples with the
+    same value are loaded together, and loading stops as soon as at
+    least ``M`` tuples are resident.  Because every group is light
+    (< ``M`` tuples), each yielded chunk holds fewer than ``2M`` tuples
+    and fewer than ``M`` distinct values — the properties the paper's
+    analysis relies on.
+
+    Heavy groups interleaved between the light ones in the underlying
+    file are skipped with a free seek; their pages are not charged.
+    """
+    reader = segment.reader()
+    chunk: list[Tuple] = []
+    for g in light_groups:
+        if g.count >= M:
+            raise ValueError(
+                f"group for value {g.value!r} has {g.count} >= M={M} tuples; "
+                "light loader requires light groups only")
+        if reader.position < g.start:
+            reader.skip_to(g.start)
+        while reader.position < g.stop:
+            chunk.append(reader.next())
+        if len(chunk) >= M:
+            with segment.device.memory.hold(len(chunk)):
+                yield chunk
+            chunk = []
+    if chunk:
+        with segment.device.memory.hold(len(chunk)):
+            yield chunk
+
+
+def scan_matching(segment: FileSegment, key: Key,
+                  wanted: set) -> Iterator[Tuple]:
+    """Stream the tuples of a segment whose key value is in ``wanted``.
+
+    One sequential read of the segment; ``wanted`` is assumed to be
+    memory-resident (the caller charges it).  This is the semijoin
+    primitive ``R(e') ⋉ M_1`` used when peeling light chunks.
+    """
+    for t in segment.scan():
+        if key(t) in wanted:
+            yield t

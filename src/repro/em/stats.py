@@ -1,0 +1,173 @@
+"""I/O and memory accounting for the simulated external-memory machine.
+
+The external-memory (EM) model of Aggarwal and Vitter has a main memory
+holding ``M`` items and a disk accessed in blocks of ``B`` items; the cost
+of an algorithm is the number of block transfers (I/Os).  The paper
+reasons exclusively about this count, so the accounting here is the
+ground truth every benchmark in this repository reports.
+
+Two cost meters live in this module:
+
+* :class:`IOStats` counts page reads and page writes.  A "page" is a
+  block of ``B`` tuples; partial pages cost a full I/O, matching the
+  model.
+* :class:`MemoryGauge` tracks the number of tuples currently held
+  resident by the running algorithm and the peak over the run.  The
+  paper assumes a memory of ``c * M`` for a sufficiently large constant
+  ``c`` (Section 1.1), so the gauge enforces ``current <= slack * M``
+  rather than a hard ``M``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Raised when an algorithm holds more than ``slack * M`` tuples."""
+
+
+@dataclass
+class IOStats:
+    """Mutable counter of block transfers.
+
+    Attributes
+    ----------
+    reads:
+        Number of pages transferred from disk to memory.
+    writes:
+        Number of pages transferred from memory to disk.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total block transfers, the cost measure of the EM model."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(reads=self.reads, writes=self.writes)
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Return the I/Os incurred since ``earlier`` was snapshotted."""
+        return IOStats(reads=self.reads - earlier.reads,
+                       writes=self.writes - earlier.writes)
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.reads = 0
+        self.writes = 0
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(reads=self.reads + other.reads,
+                       writes=self.writes + other.writes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IOStats(reads={self.reads}, writes={self.writes}, total={self.total})"
+
+
+class PhaseTracker:
+    """Attributes I/O to named phases ("sort", "semijoin", …).
+
+    Phases nest; each phase's total counts only the I/O not claimed by
+    an inner phase (exclusive attribution), so the per-phase totals plus
+    the unattributed remainder always sum to the device total.  Library
+    code tags its heavyweight operations; callers may add their own
+    phases around application logic::
+
+        with device.phases.phase("partition"):
+            ...
+
+    ``totals`` maps label → I/Os; :meth:`report` adds the remainder.
+    """
+
+    def __init__(self, stats: IOStats) -> None:
+        self._stats = stats
+        self.totals: dict[str, int] = {}
+        self._stack: list[list[int]] = []
+
+    @contextlib.contextmanager
+    def phase(self, label: str):
+        entry = [self._stats.total, 0]     # [start, child I/O]
+        self._stack.append(entry)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            delta = self._stats.total - entry[0]
+            self.totals[label] = (self.totals.get(label, 0)
+                                  + delta - entry[1])
+            if self._stack:
+                self._stack[-1][1] += delta
+
+    def report(self) -> dict[str, int]:
+        """Per-phase I/O plus the unattributed remainder."""
+        out = dict(sorted(self.totals.items()))
+        out["(unattributed)"] = self._stats.total - sum(
+            self.totals.values())
+        return out
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self._stack.clear()
+
+
+@dataclass
+class MemoryGauge:
+    """Tracks tuples held resident in (simulated) main memory.
+
+    Algorithms wrap memory-resident structures in :meth:`hold` so that
+    tests can assert the paper's memory budget is respected.  The gauge
+    is advisory by default (``strict=False``) because constant factors
+    differ between the abstract algorithms and a faithful executable
+    rendering; benchmarks and tests flip ``strict`` on with a generous
+    ``slack``.
+    """
+
+    capacity: int
+    slack: float = 8.0
+    strict: bool = False
+    current: int = 0
+    peak: int = 0
+    _limit: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self._limit = self.slack * self.capacity
+
+    def charge(self, n: int) -> None:
+        """Record ``n`` additional resident tuples."""
+        if n < 0:
+            raise ValueError(f"cannot charge a negative amount: {n}")
+        self.current += n
+        if self.current > self.peak:
+            self.peak = self.current
+        if self.strict and self.current > self._limit:
+            raise MemoryBudgetExceeded(
+                f"holding {self.current} tuples exceeds "
+                f"slack*M = {self._limit:.0f} (M={self.capacity})")
+
+    def release(self, n: int) -> None:
+        """Record ``n`` resident tuples being dropped."""
+        if n < 0:
+            raise ValueError(f"cannot release a negative amount: {n}")
+        self.current -= n
+        if self.current < 0:
+            raise ValueError("released more tuples than were held")
+
+    @contextlib.contextmanager
+    def hold(self, n: int):
+        """Context manager charging ``n`` tuples for the enclosed scope."""
+        self.charge(n)
+        try:
+            yield
+        finally:
+            self.release(n)
+
+    def reset(self) -> None:
+        """Zero the gauge (does not change capacity or slack)."""
+        self.current = 0
+        self.peak = 0

@@ -1,0 +1,16 @@
+"""Internal-memory baselines: hash join, sort-merge, Yannakakis, generic join."""
+
+from repro.internal.generic_join import (build_value_index, generic_join,
+                                         generic_join_count)
+from repro.internal.hashjoin import (Assignment, canonical, hash_join,
+                                     join_count, join_query,
+                                     project_assignments)
+from repro.internal.sortmerge import sort_merge_join
+from repro.internal.yannakakis import yannakakis, yannakakis_with_stats
+
+__all__ = [
+    "Assignment", "canonical", "hash_join", "join_count", "join_query",
+    "project_assignments", "sort_merge_join", "generic_join",
+    "generic_join_count", "build_value_index", "yannakakis",
+    "yannakakis_with_stats",
+]

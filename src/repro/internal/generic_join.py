@@ -1,0 +1,99 @@
+"""The worst-case optimal generic join (NPRR / Leapfrog style).
+
+Table 1's internal-memory column is achieved by the unified algorithm
+of Ngo–Porat–Ré–Rudra and Veldhuizen, surveyed by Ngo, Ré and Rudra
+[10]: eliminate one attribute at a time, intersecting the candidate
+value sets contributed by every relation containing that attribute
+(iterating the smallest set).  Its running time is ``Õ(AGM(Q))`` — the
+bound our benchmark ``bench_agm_internal`` checks empirically.
+
+The paper's point of departure (Section 1) is that this algorithm
+relies on hash-table lookups and therefore "does not work well in
+external memory" — it is included here purely as the internal baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from repro.internal.hashjoin import Assignment, Table
+from repro.query.hypergraph import JoinQuery
+
+Schemas = Mapping[str, Sequence[str]]
+
+
+def generic_join(query: JoinQuery, data: Mapping[str, Table],
+                 schemas: Schemas,
+                 attribute_order: Sequence[str] | None = None
+                 ) -> set[Assignment]:
+    """All join results via attribute-at-a-time elimination.
+
+    ``attribute_order`` defaults to sorted attribute names; any order is
+    correct (the classic analysis holds for all orders up to query-size
+    constants).
+    """
+    attrs = (list(attribute_order) if attribute_order is not None
+             else sorted(query.attributes))
+    if set(attrs) != set(query.attributes):
+        raise ValueError("attribute_order must cover exactly the query's "
+                         "attributes")
+    positions = {e: {a: list(schemas[e]).index(a) for a in query.edges[e]}
+                 for e in query.edges}
+    tables = {e: list(data[e]) for e in query.edges}
+    results: set[Assignment] = set()
+    _recurse(query, tables, positions, attrs, {}, results)
+    return results
+
+
+def _recurse(query: JoinQuery, tables: dict[str, Table],
+             positions: dict[str, dict[str, int]], attrs: list[str],
+             bound: dict[str, object], results: set[Assignment]) -> None:
+    if not attrs:
+        if all(tables[e] for e in tables) or not tables:
+            results.add(tuple(sorted(bound.items())))
+        return
+    v, rest = attrs[0], attrs[1:]
+    holders = [e for e in query.edges if v in query.edges[e]]
+    if not holders:
+        _recurse(query, tables, positions, rest, bound, results)
+        return
+    # Intersect candidate values, seeded from the smallest relation.
+    value_lists = []
+    for e in holders:
+        idx = positions[e][v]
+        value_lists.append({t[idx] for t in tables[e]})
+    candidates = set.intersection(*sorted(value_lists, key=len))
+    for a in sorted(candidates, key=repr):
+        narrowed = dict(tables)
+        ok = True
+        for e in holders:
+            idx = positions[e][v]
+            sub = [t for t in tables[e] if t[idx] == a]
+            if not sub:
+                ok = False
+                break
+            narrowed[e] = sub
+        if not ok:
+            continue
+        bound[v] = a
+        _recurse(query, narrowed, positions, rest, bound, results)
+        del bound[v]
+
+
+def generic_join_count(query: JoinQuery, data: Mapping[str, Table],
+                       schemas: Schemas) -> int:
+    """``|Q(R)|`` computed by generic join."""
+    return len(generic_join(query, data, schemas))
+
+
+def build_value_index(table: Table, position: int) -> dict[object, Table]:
+    """Hash index from attribute value to matching tuples.
+
+    The in-memory retrieval step the paper singles out as the reason
+    these algorithms do not translate to external memory.
+    """
+    index: dict[object, Table] = defaultdict(list)
+    for t in table:
+        index[t[position]].append(t)
+    return dict(index)

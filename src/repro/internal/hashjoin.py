@@ -1,0 +1,111 @@
+"""In-memory hash joins — the correctness oracle.
+
+These routines compute natural joins entirely in memory with classic
+hash joins.  They serve two roles in the reproduction:
+
+* the *oracle* every external-memory algorithm is tested against
+  (:func:`join_query`), and
+* the internal-memory column of Table 1 for pairwise plans.
+
+Results are returned as canonical *assignments*: a sorted tuple of
+``(attribute, value)`` pairs covering all attributes of the joined
+relations.  For set-semantics relations (no duplicate tuples) an
+assignment uniquely identifies the participating tuple combination, so
+assignment sets compare exactly against the emit-model output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from repro.query.hypergraph import JoinQuery
+
+Table = list[tuple]
+Schemas = Mapping[str, Sequence[str]]
+Assignment = tuple[tuple[str, object], ...]
+
+
+def hash_join(left: Table, left_schema: Sequence[str], right: Table,
+              right_schema: Sequence[str]) -> tuple[Table, tuple[str, ...]]:
+    """Natural join of two tables; cross product when no shared attrs.
+
+    Returns the joined table and its combined schema (left attributes
+    followed by the right-only attributes).
+    """
+    left_schema = tuple(left_schema)
+    right_schema = tuple(right_schema)
+    shared = [a for a in left_schema if a in right_schema]
+    right_only = [a for a in right_schema if a not in left_schema]
+    out_schema = left_schema + tuple(right_only)
+    r_shared_idx = [right_schema.index(a) for a in shared]
+    r_only_idx = [right_schema.index(a) for a in right_only]
+    l_shared_idx = [left_schema.index(a) for a in shared]
+
+    index: dict[tuple, list[tuple]] = defaultdict(list)
+    for t in right:
+        index[tuple(t[i] for i in r_shared_idx)].append(t)
+
+    out: Table = []
+    for t in left:
+        key = tuple(t[i] for i in l_shared_idx)
+        for u in index.get(key, ()):
+            out.append(t + tuple(u[i] for i in r_only_idx))
+    return out, out_schema
+
+
+def join_query(query: JoinQuery, data: Mapping[str, Table],
+               schemas: Schemas) -> set[Assignment]:
+    """All join results of ``query`` on ``data`` as canonical assignments.
+
+    Joins edges in an order that keeps the accumulated relation
+    connected where possible (to contain intermediate blow-up a little);
+    correctness does not depend on the order.
+    """
+    names = list(query.edge_names)
+    if not names:
+        return {()}
+    order = _connected_order(query, names)
+    first = order[0]
+    acc, acc_schema = list(data[first]), tuple(schemas[first])
+    for e in order[1:]:
+        acc, acc_schema = hash_join(acc, acc_schema, list(data[e]),
+                                    schemas[e])
+    return {canonical(t, acc_schema) for t in acc}
+
+
+def join_count(query: JoinQuery, data: Mapping[str, Table],
+               schemas: Schemas) -> int:
+    """``|Q(R)|`` under set semantics."""
+    return len(join_query(query, data, schemas))
+
+
+def canonical(t: tuple, schema: Sequence[str]) -> Assignment:
+    """The sorted ``(attribute, value)`` form of one result tuple."""
+    return tuple(sorted(zip(schema, t)))
+
+
+def project_assignments(results: set[Assignment],
+                        attributes: set[str]) -> set[Assignment]:
+    """Project canonical assignments onto a subset of attributes.
+
+    Implements the paper's *partial join* ``Q(R, S)`` — the projection
+    of the full join onto the attributes of ``S`` (Section 1.4).
+    """
+    return {tuple(p for p in a if p[0] in attributes) for a in results}
+
+
+def _connected_order(query: JoinQuery, names: list[str]) -> list[str]:
+    remaining = set(names)
+    order = [names[0]]
+    remaining.discard(names[0])
+    attrs = set(query.edges[names[0]])
+    while remaining:
+        nxt = next((e for e in sorted(remaining)
+                    if query.edges[e] & attrs), None)
+        if nxt is None:
+            nxt = sorted(remaining)[0]
+        order.append(nxt)
+        remaining.discard(nxt)
+        attrs |= query.edges[nxt]
+    return order

@@ -1,0 +1,48 @@
+"""In-memory sort-merge join on a single shared attribute.
+
+Reference semantics for the external-memory two-way joins of Section 3;
+tests cross-check it against :func:`repro.internal.hashjoin.hash_join`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.internal.hashjoin import Table
+
+
+def sort_merge_join(left: Table, left_schema: Sequence[str], right: Table,
+                    right_schema: Sequence[str], attr: str
+                    ) -> tuple[Table, tuple[str, ...]]:
+    """Natural join of two tables on one shared attribute ``attr``."""
+    left_schema = tuple(left_schema)
+    right_schema = tuple(right_schema)
+    li = left_schema.index(attr)
+    ri = right_schema.index(attr)
+    right_only_idx = [i for i, a in enumerate(right_schema) if a != attr
+                      and a not in left_schema]
+    out_schema = left_schema + tuple(right_schema[i] for i in right_only_idx)
+
+    ls = sorted(left, key=lambda t: t[li])
+    rs = sorted(right, key=lambda t: t[ri])
+    out: Table = []
+    i = j = 0
+    while i < len(ls) and j < len(rs):
+        a, b = ls[i][li], rs[j][ri]
+        if a < b:
+            i += 1
+        elif a > b:
+            j += 1
+        else:
+            # Emit the full group × group block for this value.
+            i2 = i
+            while i2 < len(ls) and ls[i2][li] == a:
+                i2 += 1
+            j2 = j
+            while j2 < len(rs) and rs[j2][ri] == a:
+                j2 += 1
+            for t in ls[i:i2]:
+                for u in rs[j:j2]:
+                    out.append(t + tuple(u[k] for k in right_only_idx))
+            i, j = i2, j2
+    return out, out_schema

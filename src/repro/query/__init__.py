@@ -1,0 +1,48 @@
+"""Query hypergraphs, acyclicity, covers, line theory, GenS, reduction."""
+
+from repro.query.builders import (dumbbell_query, line_query, lollipop_query,
+                                  star_query, triangle_query,
+                                  two_relation_query)
+from repro.query.classify import (LeafInfo, Star, edge_join_attributes,
+                                  edge_unique_attributes, find_buds,
+                                  find_islands, find_leaves, find_stars,
+                                  has_island_bud_or_leaf, is_bud, is_island,
+                                  is_leaf, is_petal_of, join_attributes,
+                                  leaf_info, unique_attributes)
+from repro.query.covers import (EdgeCover, GreedyCover, agm_bound,
+                                cover_number, fractional_edge_cover,
+                                greedy_minimum_edge_cover,
+                                optimal_integral_cover)
+from repro.query.gens import gens_all, gens_one, remove_safely_dominated
+from repro.query.parse import (QueryParseError, format_query, parse_query,
+                               parse_schemas)
+from repro.query.hypergraph import (CyclicQueryError, JoinQuery,
+                                    is_berge_acyclic, require_berge_acyclic)
+from repro.query.lines import (LineClassification, alternating_intervals,
+                               balanced_split, balanced_violations,
+                               classify_line, independent_subsets,
+                               is_alternating, is_balanced, line_bound,
+                               line_cover)
+from repro.query.reduce import (EliminationStep, elimination_order,
+                                full_reduce, is_fully_reduced, semijoin)
+
+__all__ = [
+    "JoinQuery", "is_berge_acyclic", "require_berge_acyclic",
+    "CyclicQueryError",
+    "line_query", "star_query", "lollipop_query", "dumbbell_query",
+    "triangle_query", "two_relation_query",
+    "LeafInfo", "Star", "join_attributes", "unique_attributes",
+    "edge_join_attributes", "edge_unique_attributes", "is_island", "is_bud",
+    "is_leaf", "leaf_info", "find_islands", "find_buds", "find_leaves",
+    "find_stars", "has_island_bud_or_leaf", "is_petal_of",
+    "EdgeCover", "GreedyCover", "fractional_edge_cover",
+    "optimal_integral_cover", "agm_bound", "greedy_minimum_edge_cover",
+    "cover_number",
+    "gens_all", "gens_one", "remove_safely_dominated",
+    "parse_query", "parse_schemas", "format_query", "QueryParseError",
+    "LineClassification", "line_cover", "alternating_intervals",
+    "is_alternating", "is_balanced", "balanced_violations", "balanced_split",
+    "classify_line", "independent_subsets", "line_bound",
+    "EliminationStep", "elimination_order", "semijoin", "full_reduce",
+    "is_fully_reduced",
+]

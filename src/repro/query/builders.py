@@ -1,0 +1,134 @@
+"""Constructors for the query families the paper studies.
+
+* :func:`line_query` — ``L_n`` (Section 6, Figure 7);
+* :func:`star_query` — a core plus ``k`` petals (Section 5, Figure 5);
+* :func:`lollipop_query` — a star with one petal extended (Section 7.2,
+  Figure 8);
+* :func:`dumbbell_query` — two stars joined by a shared petal
+  (Section 7.3, Figure 9);
+* :func:`triangle_query` — the cyclic ``C_3``, used to exercise the
+  acyclicity rejection path (Table 1 context only).
+
+All builders use edge names ``e1, e2, …`` and attribute names
+``v1, v2, …`` (petal unique attributes ``u1, u2, …``) matching the
+paper's figures, so examples and tests read like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.query.hypergraph import JoinQuery
+
+
+def _attach_sizes(edges: dict[str, frozenset[str]],
+                  sizes: Sequence[int] | Mapping[str, int] | None
+                  ) -> JoinQuery:
+    if sizes is None:
+        return JoinQuery(edges=edges)
+    if isinstance(sizes, Mapping):
+        return JoinQuery(edges=edges, sizes=dict(sizes))
+    names = sorted(edges, key=lambda e: int(e[1:]))
+    if len(sizes) != len(names):
+        raise ValueError(f"{len(names)} edges but {len(sizes)} sizes")
+    return JoinQuery(edges=edges, sizes=dict(zip(names, sizes)))
+
+
+def line_query(n: int, sizes: Sequence[int] | None = None) -> JoinQuery:
+    """``L_n``: ``e_i = {v_i, v_{i+1}}`` for ``i = 1..n``."""
+    if n < 1:
+        raise ValueError(f"line query needs n >= 1, got {n}")
+    edges = {f"e{i}": frozenset({f"v{i}", f"v{i + 1}"})
+             for i in range(1, n + 1)}
+    return _attach_sizes(edges, sizes)
+
+
+def star_query(k: int, sizes: Sequence[int] | None = None,
+               *, core_name: str = "e0") -> JoinQuery:
+    """A standalone star: core ``e0 = {v1..vk}``, petals ``e_i = {v_i, u_i}``.
+
+    ``sizes`` (when given) lists ``[N_0, N_1, …, N_k]`` — core first.
+    """
+    if k < 1:
+        raise ValueError(f"star query needs k >= 1 petals, got {k}")
+    edges: dict[str, frozenset[str]] = {
+        core_name: frozenset(f"v{i}" for i in range(1, k + 1))}
+    for i in range(1, k + 1):
+        edges[f"e{i}"] = frozenset({f"v{i}", f"u{i}"})
+    if sizes is None:
+        return JoinQuery(edges=edges)
+    if len(sizes) != k + 1:
+        raise ValueError(f"star with {k} petals needs {k + 1} sizes "
+                         f"(core first), got {len(sizes)}")
+    names = [core_name] + [f"e{i}" for i in range(1, k + 1)]
+    return JoinQuery(edges=edges, sizes=dict(zip(names, sizes)))
+
+
+def lollipop_query(n: int, sizes: Sequence[int] | None = None) -> JoinQuery:
+    """A lollipop (Figure 8): a star whose petal ``e_n`` extends to ``e_{n+1}``.
+
+    Core ``e0 = {v1..vn}``; petals ``e_i = {v_i, u_i}`` for ``i < n``;
+    the stick ``e_n = {v_n, v_{n+1}}`` continues into
+    ``e_{n+1} = {v_{n+1}, u_{n+1}}``.  ``sizes`` lists
+    ``[N_0, N_1, …, N_{n+1}]``.
+    """
+    if n < 2:
+        raise ValueError(f"lollipop needs n >= 2, got {n}")
+    edges: dict[str, frozenset[str]] = {
+        "e0": frozenset(f"v{i}" for i in range(1, n + 1))}
+    for i in range(1, n):
+        edges[f"e{i}"] = frozenset({f"v{i}", f"u{i}"})
+    edges[f"e{n}"] = frozenset({f"v{n}", f"v{n + 1}"})
+    edges[f"e{n + 1}"] = frozenset({f"v{n + 1}", f"u{n + 1}"})
+    if sizes is None:
+        return JoinQuery(edges=edges)
+    names = [f"e{i}" for i in range(0, n + 2)]
+    if len(sizes) != len(names):
+        raise ValueError(f"lollipop with n={n} needs {len(names)} sizes")
+    return JoinQuery(edges=edges, sizes=dict(zip(names, sizes)))
+
+
+def dumbbell_query(n: int, m: int,
+                   sizes: Sequence[int] | None = None) -> JoinQuery:
+    """A dumbbell (Figure 9): two stars sharing the bar relation ``e_n``.
+
+    Star one: core ``e0 = {v1..vn}``, petals ``e1..e_{n-1}`` with unique
+    attributes, plus the bar ``e_n = {v_n, v_{n+1}}``.  Star two: core
+    ``e_m = {v_{n+1}..v_m'}`` with petals ``e_{n+1}..e_{m-1}``.  The bar
+    ``e_n`` is a petal of both cores.  ``sizes`` lists ``N_0..N_m`` in
+    edge-index order ``e0, e1, …, em``.
+    """
+    if n < 2 or m < n + 2:
+        raise ValueError(f"dumbbell needs n >= 2 and m >= n + 2, "
+                         f"got n={n}, m={m}")
+    edges: dict[str, frozenset[str]] = {}
+    edges["e0"] = frozenset(f"v{i}" for i in range(1, n + 1))
+    for i in range(1, n):
+        edges[f"e{i}"] = frozenset({f"v{i}", f"u{i}"})
+    edges[f"e{n}"] = frozenset({f"v{n}", f"v{n + 1}"})
+    core2 = {f"v{n + 1}"}
+    for i in range(n + 1, m):
+        attr = f"w{i}"
+        core2.add(attr)
+        edges[f"e{i}"] = frozenset({attr, f"u{i}"})
+    edges[f"e{m}"] = frozenset(core2)
+    if sizes is None:
+        return JoinQuery(edges=edges)
+    names = [f"e{i}" for i in range(0, m + 1) if f"e{i}" in edges]
+    if len(sizes) != len(names):
+        raise ValueError(f"dumbbell needs {len(names)} sizes, "
+                         f"got {len(sizes)}")
+    return JoinQuery(edges=edges, sizes=dict(zip(names, sizes)))
+
+
+def triangle_query(sizes: Sequence[int] | None = None) -> JoinQuery:
+    """The cyclic triangle ``C_3`` — *not* Berge-acyclic (rejection tests)."""
+    edges = {"e1": frozenset({"v1", "v2"}),
+             "e2": frozenset({"v1", "v3"}),
+             "e3": frozenset({"v2", "v3"})}
+    return _attach_sizes(edges, sizes)
+
+
+def two_relation_query(sizes: Sequence[int] | None = None) -> JoinQuery:
+    """The 2-relation join ``R1(v1,v2) ⋈ R2(v2,v3)`` (Section 3)."""
+    return line_query(2, sizes)

@@ -1,0 +1,176 @@
+"""``GenS(Q)``: the nondeterministic subset-generation process (Algorithm 3).
+
+``GenS`` produces, per nondeterministic branch, a collection ``S`` of
+subsets of the relations; Theorem 3 bounds Algorithm 2's I/O cost by
+``min_{S ∈ GenS(Q)} max_{S ∈ S} Ψ(R, S)``.  The recursion follows the
+structure of the query:
+
+* empty query → ``{∅}``;
+* a bud is dropped;
+* if a star ``X`` (core ``e0``, petals ``X − {e0}``) exists, one is
+  picked nondeterministically and (per equation (13) of the paper's
+  Appendix A.2)::
+
+      GenS(Q) = 2^X
+              ∪ 2^{X−{e0}}              × GenS(Q − X)
+              ∪ (2^{X−{e0}} − {X−{e0}}) × GenS(Q − X + {e0})
+
+  — i.e. all petals may appear together in one subset only when the
+  core is *not* part of the recursive side;
+* otherwise an island or leaf ``e`` is picked nondeterministically and
+  ``GenS(Q) = GenS(Q−e) ∪ {S ∪ {e}}``.
+
+:func:`gens_all` enumerates every branch (the paper's round-robin
+simulation explores the same set); :func:`gens_best` then minimizes the
+bound over branches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.query.classify import find_buds, find_islands, find_leaves, find_stars
+from repro.query.hypergraph import JoinQuery
+
+SubsetCollection = frozenset[frozenset[str]]
+
+
+def _powerset(items: Iterable[str]) -> list[frozenset[str]]:
+    items = sorted(items)
+    out = []
+    for mask in range(1 << len(items)):
+        out.append(frozenset(items[i] for i in range(len(items))
+                             if mask >> i & 1))
+    return out
+
+
+def _cross(collections: Iterable[frozenset[str]],
+           subsets: Iterable[frozenset[str]]) -> set[frozenset[str]]:
+    """``{S ∪ f | S ∈ collections, f ∈ subsets}`` (the paper's ×)."""
+    return {s | f for s in collections for f in subsets}
+
+
+def gens_all(query: JoinQuery) -> set[SubsetCollection]:
+    """Every collection ``S`` generatable by some branch of Algorithm 3."""
+    memo: dict[frozenset, set[SubsetCollection]] = {}
+    return _gens_all(query, memo)
+
+
+def _gens_all(query: JoinQuery,
+              memo: dict[frozenset, set[SubsetCollection]]
+              ) -> set[SubsetCollection]:
+    key = query.structure_key()
+    if key in memo:
+        return memo[key]
+
+    if not query.edges:
+        result = {frozenset({frozenset()})}
+        memo[key] = result
+        return result
+
+    buds = find_buds(query)
+    if buds:
+        result = _gens_all(query.drop_edges([buds[0]]), memo)
+        memo[key] = result
+        return result
+
+    result: set[SubsetCollection] = set()
+    stars = find_stars(query, all_petal_subsets=True)
+    if stars:
+        for star in stars:
+            petal_subsets = _powerset(star.petals)
+            proper_petal_subsets = [f for f in petal_subsets
+                                    if f != star.petals]
+            star_subsets = set(_powerset(star.edges))
+            branches_no_core = _gens_all(query.drop_edges(star.edges), memo)
+            branches_with_core = _gens_all(query.drop_edges(star.petals), memo)
+            for s2 in branches_no_core:
+                for s1 in branches_with_core:
+                    combined = set(star_subsets)
+                    combined |= _cross(s2, petal_subsets)
+                    combined |= _cross(s1, proper_petal_subsets)
+                    result.add(frozenset(combined))
+    else:
+        for e in find_islands(query) + find_leaves(query):
+            for sub in _gens_all(query.drop_edges([e]), memo):
+                combined = set(sub) | {s | {e} for s in sub}
+                result.add(frozenset(combined))
+        if not result:
+            raise ValueError(
+                "query has no bud, star, island or leaf — it is not "
+                "Berge-acyclic (Lemma 1)")
+    memo[key] = result
+    return result
+
+
+def gens_one(query: JoinQuery,
+             star_chooser: Callable[[list], int] | None = None,
+             leaf_chooser: Callable[[list[str]], int] | None = None
+             ) -> SubsetCollection:
+    """One branch of ``GenS``, with injectable choice functions.
+
+    ``star_chooser`` picks among the available stars,
+    ``leaf_chooser`` among islands+leaves; both default to index 0.
+    """
+    pick_star = star_chooser or (lambda options: 0)
+    pick_leaf = leaf_chooser or (lambda options: 0)
+
+    if not query.edges:
+        return frozenset({frozenset()})
+
+    buds = find_buds(query)
+    if buds:
+        return gens_one(query.drop_edges([buds[0]]), star_chooser,
+                        leaf_chooser)
+
+    stars = find_stars(query, all_petal_subsets=True)
+    if stars:
+        star = stars[pick_star(stars)]
+        petal_subsets = _powerset(star.petals)
+        proper = [f for f in petal_subsets if f != star.petals]
+        s2 = gens_one(query.drop_edges(star.edges), star_chooser, leaf_chooser)
+        s1 = gens_one(query.drop_edges(star.petals), star_chooser, leaf_chooser)
+        combined = set(_powerset(star.edges))
+        combined |= _cross(s2, petal_subsets)
+        combined |= _cross(s1, proper)
+        return frozenset(combined)
+
+    options = find_islands(query) + find_leaves(query)
+    if not options:
+        raise ValueError("query has no bud, star, island or leaf")
+    e = options[pick_leaf(options)]
+    sub = gens_one(query.drop_edges([e]), star_chooser, leaf_chooser)
+    return frozenset(set(sub) | {s | {e} for s in sub})
+
+
+def remove_safely_dominated(collection: SubsetCollection,
+                            query: JoinQuery) -> SubsetCollection:
+    """Drop subsets provably dominated under the model's assumptions.
+
+    A subset ``S'`` is *safely dominated* by ``S ⊇ S'`` when every edge
+    of ``S − S'`` is disconnected (within ``S``) from ``S'`` and from
+    the other added edges: then ``Ψ(R,S) = Ψ(R,S') · ∏ N(e)/M`` and the
+    standing assumption ``N(e) ≥ M`` (Section 1.1) gives
+    ``Ψ(R,S') ≤ Ψ(R,S)`` on every instance.  The empty subset is always
+    dominated (cost 0).  This is a *presentation* helper: the cost bound
+    itself never needs filtering because dominated subsets cannot
+    achieve the max.
+    """
+    kept: set[frozenset[str]] = set()
+    as_list = sorted(collection, key=len, reverse=True)
+    for s_prime in as_list:
+        if not s_prime:
+            continue
+        dominated = False
+        for s in collection:
+            if not s_prime < s:
+                continue
+            added = s - s_prime
+            comps = query.connected_components(s)
+            by_comp = {e: c for c in comps for e in c}
+            if all(len(by_comp[e]) == 1 for e in added):
+                dominated = True
+                break
+        if not dominated:
+            kept.add(s_prime)
+    return frozenset(kept)

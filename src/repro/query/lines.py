@@ -1,0 +1,237 @@
+"""Line-join theory (Section 6).
+
+A line join ``L_n`` has attributes ``v1..v_{n+1}`` and edges
+``e_i = {v_i, v_{i+1}}``.  This module implements the paper's
+characterization machinery:
+
+* the optimal 0/1 edge cover of a line join and its decomposition into
+  *alternating intervals* (Section 6.1);
+* the *balanced* condition for odd ``n`` (Section 6.2):
+  ``N_i N_{i+2} ⋯ N_j ≥ N_{i+1} N_{i+3} ⋯ N_{j-1}`` for every window
+  ``[i, j]`` of even length ``j - i``;
+* the balanced-split condition for even ``n`` (Theorem 6);
+* the *independent subsets* of edges (no two consecutive) over which
+  Corollary 2 takes its max;
+* dispatch hints for the unbalanced special cases of Section 6.3.
+
+Sizes are passed as a 1-indexed-in-spirit Python list ``sizes[0..n-1]``
+for ``N_1..N_n``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+def line_cover(sizes: Sequence[int]) -> tuple[int, ...]:
+    """The optimal 0/1 edge cover of a line join, by dynamic programming.
+
+    Constraints: ``x_1 = x_n = 1`` (end attributes are unique) and
+    ``x_i + x_{i+1} ≥ 1`` for each internal attribute.  Minimizes
+    ``Σ x_i ln N_i``.  Ties are broken toward lexicographically largest
+    cover, which is immaterial to the bound.
+    """
+    n = len(sizes)
+    if n == 0:
+        return ()
+    if n == 1:
+        return (1,)
+    logs = [math.log(max(s, 2)) for s in sizes]
+    # dp[i][x] = min cost of covering prefix deciding x_i = x.
+    inf = float("inf")
+    dp = [[inf, inf] for _ in range(n)]
+    choice: list[list[int]] = [[-1, -1] for _ in range(n)]
+    dp[0][1] = logs[0]  # x_1 = 1 forced
+    for i in range(1, n):
+        for x in (0, 1):
+            for px in (0, 1):
+                if px + x < 1:
+                    continue  # attribute v_{i+1} uncovered
+                cost = dp[i - 1][px] + (logs[i] if x else 0.0)
+                if cost < dp[i][x]:
+                    dp[i][x] = cost
+                    choice[i][x] = px
+    # x_n = 1 forced
+    xs = [0] * n
+    xs[-1] = 1
+    for i in range(n - 1, 0, -1):
+        xs[i - 1] = choice[i][xs[i]]
+    return tuple(xs)
+
+
+def alternating_intervals(cover: Sequence[int]) -> list[tuple[int, int]]:
+    """Decompose a 0/1 line cover into maximal alternating intervals.
+
+    An alternating interval is a maximal run ``1, 0, 1, 0, …, 0, 1``
+    (or a single ``1``); Section 6.1 shows the optimal cover is a
+    concatenation of such intervals.  Returns 0-based ``(start, stop)``
+    index pairs over the cover positions, inclusive of both ends.
+    """
+    intervals: list[tuple[int, int]] = []
+    i = 0
+    n = len(cover)
+    while i < n:
+        if cover[i] != 1:
+            raise ValueError(f"cover {tuple(cover)} does not decompose into "
+                             f"alternating intervals (position {i} is 0)")
+        j = i
+        while j + 2 < n and cover[j + 1] == 0 and cover[j + 2] == 1:
+            j += 2
+        intervals.append((i, j))
+        i = j + 1
+    return intervals
+
+
+def is_alternating(cover: Sequence[int]) -> bool:
+    """Whether the whole cover is a single alternating interval."""
+    try:
+        return len(alternating_intervals(cover)) == 1
+    except ValueError:
+        return False
+
+
+def is_balanced(sizes: Sequence[int]) -> bool:
+    """The balanced condition for line joins (Section 6.2, odd ``n``).
+
+    Checks ``N_i N_{i+2} ⋯ N_j ≥ N_{i+1} ⋯ N_{j-1}`` for every
+    ``1 ≤ i < j ≤ n`` with ``j - i`` even.  ``L_3`` is always balanced
+    once dangling tuples are removed; ``L_5`` is balanced iff
+    ``N_1 N_3 N_5 ≥ N_2 N_4``.
+    """
+    n = len(sizes)
+    for i in range(n):           # 0-based i  (paper's i-1)
+        for j in range(i + 2, n, 2):
+            outer = math.prod(sizes[i:j + 1:2])
+            inner = math.prod(sizes[i + 1:j:2])
+            if outer < inner:
+                return False
+    return True
+
+
+def balanced_violations(sizes: Sequence[int]) -> list[tuple[int, int]]:
+    """All windows (1-based, inclusive) violating the balanced condition."""
+    n = len(sizes)
+    out = []
+    for i in range(n):
+        for j in range(i + 2, n, 2):
+            if math.prod(sizes[i:j + 1:2]) < math.prod(sizes[i + 1:j:2]):
+                out.append((i + 1, j + 1))
+    return out
+
+
+def balanced_split(sizes: Sequence[int]) -> int | None:
+    """For even ``n``: an odd ``k`` splitting into two balanced subjoins.
+
+    Theorem 6: Algorithm 2 is optimal on an even line join when some
+    odd ``k`` makes both ``e_1 ⋯ e_k`` and ``e_{k+1} ⋯ e_n`` balanced.
+    Returns the 1-based ``k`` or ``None`` when no such split exists.
+    """
+    n = len(sizes)
+    if n % 2 != 0:
+        raise ValueError(f"balanced_split applies to even n, got n={n}")
+    for k in range(1, n, 2):
+        if is_balanced(sizes[:k]) and is_balanced(sizes[k:]):
+            return k
+    return None
+
+
+def independent_subsets(n: int) -> Iterator[frozenset[str]]:
+    """All subsets of ``{e1..en}`` with no two consecutive edges.
+
+    These are the ``S`` over which Corollary 2's max ranges: consecutive
+    edges share an attribute, so an independent subset's subjoin is a
+    full cross product ``∏_{e∈S} N(e)``.
+    """
+    for mask in range(1 << n):
+        if mask & (mask << 1):
+            continue
+        yield frozenset(f"e{i + 1}" for i in range(n) if mask >> i & 1)
+
+
+def line_bound(sizes: Sequence[int], M: int, B: int, *,
+               allow_adjacent_pair: int | None = None) -> float:
+    """``max_S ∏_{e∈S} N(e) / (M^{|S|-1} B)`` over independent subsets.
+
+    This is the Corollary 2 cost (odd balanced lines).  For Theorem 6's
+    even case pass ``allow_adjacent_pair=k`` (1-based) to additionally
+    allow ``e_k`` and ``e_{k+1}`` to be chosen together.
+    """
+    n = len(sizes)
+    best = 0.0
+    for subset in independent_subsets(n):
+        best = max(best, _cross_cost([int(e[1:]) for e in subset],
+                                     sizes, M, B))
+    if allow_adjacent_pair is not None:
+        k = allow_adjacent_pair
+        left = [i for i in range(1, k)]        # candidates before the pair
+        right = [i for i in range(k + 2, n + 1)]
+        for lmask in _independent_masks(left, forbid_adjacent_to=k):
+            for rmask in _independent_masks(right,
+                                            forbid_adjacent_to=k + 1):
+                chosen = sorted(lmask + [k, k + 1] + rmask)
+                best = max(best, _cross_cost(chosen, sizes, M, B))
+    return best
+
+
+def _independent_masks(candidates: list[int], *,
+                       forbid_adjacent_to: int) -> list[list[int]]:
+    out: list[list[int]] = []
+    for r in range(len(candidates) + 1):
+        for combo in itertools.combinations(candidates, r):
+            ok = all(b - a >= 2 for a, b in zip(combo, combo[1:]))
+            if ok and all(abs(c - forbid_adjacent_to) >= 2 for c in combo):
+                out.append(list(combo))
+    return out
+
+
+def _cross_cost(indices: list[int], sizes: Sequence[int], M: int,
+                B: int) -> float:
+    if not indices:
+        return 0.0
+    prod = math.prod(sizes[i - 1] for i in indices)
+    return prod / (M ** (len(indices) - 1) * B)
+
+
+@dataclass(frozen=True)
+class LineClassification:
+    """How Section 6 dispatches a line join of ``n`` relations."""
+
+    n: int
+    cover: tuple[int, ...]
+    balanced: bool
+    split_k: int | None
+    regime: str  # "balanced-odd" | "balanced-even" | "unbalanced-5" | ...
+
+
+def classify_line(sizes: Sequence[int]) -> LineClassification:
+    """Decide which of the paper's line-join regimes applies.
+
+    * odd ``n`` and balanced → Theorem 5 (Algorithm 2 optimal);
+    * even ``n`` with a balanced split → Theorem 6 (Algorithm 2 optimal);
+    * ``n = 5`` unbalanced → Algorithm 4;
+    * ``n = 6`` without split → nested loop over ``R_6`` + Algorithm 4;
+    * ``n = 7`` unbalanced → Algorithm 5 (or the ``(1,1,0,1,0,1,1)``
+      reduction);
+    * ``n = 8`` → reduces to smaller joins;
+    * ``n ≥ 9`` unbalanced → open (Algorithm 2 still runs, optimality
+      unknown).
+    """
+    n = len(sizes)
+    cover = line_cover(sizes)
+    if n % 2 == 1:
+        balanced = is_balanced(sizes)
+        regime = "balanced-odd" if balanced else f"unbalanced-{n}"
+        if not balanced and n >= 9:
+            regime = "unbalanced-open"
+        return LineClassification(n=n, cover=cover, balanced=balanced,
+                                  split_k=None, regime=regime)
+    k = balanced_split(sizes)
+    if k is not None:
+        return LineClassification(n=n, cover=cover, balanced=True,
+                                  split_k=k, regime="balanced-even")
+    regime = f"unbalanced-{n}" if n <= 8 else "unbalanced-open"
+    return LineClassification(n=n, cover=cover, balanced=False,
+                              split_k=None, regime=regime)

@@ -1,0 +1,125 @@
+"""A compact text syntax for join queries.
+
+Natural joins are written as a list of relation atoms::
+
+    parse_query("e1(v1, v2), e2(v2, v3), e3(v3, v4)")
+    parse_query("R(a,b) ⋈ S(b,c) ⋈ T(c,d)")
+    parse_query("fact(c,p,s)[10000], cust(c,n)[500]")
+
+Atoms are separated by ``,`` or ``⋈`` (or the ASCII ``|x|``); an
+optional ``[size]`` suffix attaches the ``N(e)`` bound.  Attribute
+repetition across atoms is what makes them join — exactly the
+hypergraph model of Section 1.1.  :func:`format_query` renders a query
+back to this syntax (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.hypergraph import JoinQuery
+
+_ATOM = re.compile(
+    r"""\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*
+        \(\s*(?P<attrs>[^()]*?)\s*\)\s*
+        (?:\[\s*(?P<size>\d+)\s*\])?\s*""",
+    re.VERBOSE)
+
+_SEPARATOR = re.compile(r"\s*(?:,|⋈|\|x\|)\s*")
+
+
+class QueryParseError(ValueError):
+    """The query text does not match the expected syntax."""
+
+
+def parse_query(text: str) -> JoinQuery:
+    """Parse the relation-atom syntax into a :class:`JoinQuery`.
+
+    Sizes are attached when *every* atom carries one; a partial
+    annotation is rejected (it is almost certainly a mistake).
+    """
+    if not text or not text.strip():
+        raise QueryParseError("empty query text")
+    edges: dict[str, frozenset[str]] = {}
+    sizes: dict[str, int] = {}
+    pos = 0
+    n_atoms = 0
+    while pos < len(text):
+        m = _ATOM.match(text, pos)
+        if not m:
+            raise QueryParseError(
+                f"expected a relation atom like 'R(a, b)' at position "
+                f"{pos}: {text[pos:pos + 30]!r}")
+        name = m.group("name")
+        if name in edges:
+            raise QueryParseError(f"duplicate relation name {name!r}")
+        attrs = [a.strip() for a in m.group("attrs").split(",")
+                 if a.strip()]
+        if not attrs:
+            raise QueryParseError(f"relation {name!r} lists no attributes")
+        if len(set(attrs)) != len(attrs):
+            raise QueryParseError(
+                f"relation {name!r} repeats an attribute: {attrs}")
+        for a in attrs:
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", a):
+                raise QueryParseError(
+                    f"bad attribute name {a!r} in relation {name!r}")
+        edges[name] = frozenset(attrs)
+        if m.group("size") is not None:
+            sizes[name] = int(m.group("size"))
+        n_atoms += 1
+        pos = m.end()
+        if pos < len(text):
+            sep = _SEPARATOR.match(text, pos)
+            if not sep or sep.end() == pos:
+                raise QueryParseError(
+                    f"expected ',' or '⋈' between atoms at position "
+                    f"{pos}: {text[pos:pos + 20]!r}")
+            pos = sep.end()
+            if pos >= len(text):
+                raise QueryParseError("query text ends with a separator")
+    if sizes and len(sizes) != n_atoms:
+        missing = sorted(set(edges) - set(sizes))
+        raise QueryParseError(
+            f"size annotations must cover every relation or none; "
+            f"missing for {missing}")
+    return JoinQuery(edges=edges, sizes=sizes or None)
+
+
+def parse_schemas(text: str) -> dict[str, tuple[str, ...]]:
+    """Parse the same syntax into ``{name: attribute tuple}`` layouts.
+
+    Unlike :func:`parse_query` (which holds attribute *sets*), this
+    preserves the written attribute order — the physical column layout
+    an :class:`~repro.data.instance.Instance` needs.
+    """
+    layouts: dict[str, tuple[str, ...]] = {}
+    pos = 0
+    while pos < len(text):
+        m = _ATOM.match(text, pos)
+        if not m:
+            raise QueryParseError(
+                f"expected a relation atom at position {pos}")
+        attrs = tuple(a.strip() for a in m.group("attrs").split(",")
+                      if a.strip())
+        layouts[m.group("name")] = attrs
+        pos = m.end()
+        if pos < len(text):
+            sep = _SEPARATOR.match(text, pos)
+            if not sep:
+                raise QueryParseError(
+                    f"expected ',' or '⋈' at position {pos}")
+            pos = sep.end()
+    return layouts
+
+
+def format_query(query: JoinQuery) -> str:
+    """Render a query back to the atom syntax (attributes sorted)."""
+    parts = []
+    for e in query.edge_names:
+        attrs = ", ".join(sorted(query.edges[e]))
+        suffix = ""
+        if query.sizes is not None and e in query.sizes:
+            suffix = f"[{query.sizes[e]}]"
+        parts.append(f"{e}({attrs}){suffix}")
+    return " ⋈ ".join(parts)

@@ -1,0 +1,112 @@
+"""The full reducer: removing dangling tuples (Yannakakis, phase one).
+
+The paper's optimality statements hold on *fully reduced* instances —
+every tuple participates in at least one join result.  For acyclic
+queries a two-pass semijoin program achieves this: eliminate relations
+ear by ear (Lemma 1 guarantees a relation with at most one join
+attribute always exists), semijoin each ear's parent by the ear on the
+way up, then semijoin each ear by its parent on the way down.
+
+This module implements the reducer over plain in-memory tables (lists
+of tuples); :mod:`repro.core.reducer_em` wraps it for on-disk relations
+with I/O accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.query.classify import edge_join_attributes
+from repro.query.hypergraph import JoinQuery
+
+Table = list[tuple]
+Schemas = Mapping[str, Sequence[str]]
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """One ear removal: ``edge`` eliminated toward ``parent``.
+
+    ``parent`` is ``None`` for islands (nothing to semijoin);
+    ``shared_attr`` is the single join attribute connecting them.
+    """
+
+    edge: str
+    parent: str | None
+    shared_attr: str | None
+
+
+def elimination_order(query: JoinQuery) -> list[EliminationStep]:
+    """Ear-elimination order for a Berge-acyclic query.
+
+    Repeatedly removes a relation with at most one join attribute
+    (island, bud or leaf).  Raises if the query is cyclic, since then
+    some residue has no such relation.
+    """
+    q = query
+    steps: list[EliminationStep] = []
+    while len(q.edges) > 0:
+        pick = None
+        for e in q.edge_names:
+            joins = edge_join_attributes(q, e)
+            if len(joins) <= 1:
+                pick = (e, joins)
+                break
+        if pick is None:
+            raise ValueError("no ear found — query is not Berge-acyclic")
+        e, joins = pick
+        if joins:
+            (v,) = joins
+            parent = next(e2 for e2 in q.edge_names
+                          if e2 != e and v in q.edges[e2])
+            steps.append(EliminationStep(edge=e, parent=parent,
+                                         shared_attr=v))
+        else:
+            steps.append(EliminationStep(edge=e, parent=None,
+                                         shared_attr=None))
+        q = q.drop_edges([e])
+    return steps
+
+
+def semijoin(left: Table, left_schema: Sequence[str], right: Table,
+             right_schema: Sequence[str], attr: str) -> Table:
+    """``left ⋉ right`` on the single shared attribute ``attr``."""
+    ri = list(right_schema).index(attr)
+    li = list(left_schema).index(attr)
+    values = {t[ri] for t in right}
+    return [t for t in left if t[li] in values]
+
+
+def full_reduce(query: JoinQuery, data: Mapping[str, Table],
+                schemas: Schemas) -> dict[str, Table]:
+    """Return a fully reduced copy of ``data`` (two semijoin passes)."""
+    tables = {e: list(data[e]) for e in query.edges}
+    steps = elimination_order(query)
+    # Upward pass: parents filtered by already-processed children.
+    for step in steps:
+        if step.parent is None:
+            continue
+        tables[step.parent] = semijoin(
+            tables[step.parent], schemas[step.parent],
+            tables[step.edge], schemas[step.edge], step.shared_attr)
+    # Downward pass: children filtered by (now consistent) parents.
+    for step in reversed(steps):
+        if step.parent is None:
+            continue
+        tables[step.edge] = semijoin(
+            tables[step.edge], schemas[step.edge],
+            tables[step.parent], schemas[step.parent], step.shared_attr)
+    return tables
+
+
+def is_fully_reduced(query: JoinQuery, data: Mapping[str, Table],
+                     schemas: Schemas) -> bool:
+    """True when the full reducer would remove nothing.
+
+    If any relation is empty, full reduction empties all relations in
+    its connected component; an instance with an empty relation and a
+    nonempty one in the same component is therefore not reduced.
+    """
+    reduced = full_reduce(query, data, schemas)
+    return all(len(reduced[e]) == len(data[e]) for e in query.edges)

@@ -1,0 +1,32 @@
+"""Workloads: random generators and the paper's worst-case constructions."""
+
+from repro.workloads.generators import (cross_pairs, many_to_one,
+                                        matching_relation, one_to_many,
+                                        onto_mapping, schemas_for,
+                                        skewed_instance, uniform_instance)
+from repro.workloads.worstcase import (balanced_line_sizes,
+                                       condition7_holds,
+                                       dumbbell_worstcase_instance,
+                                       cross_product_instance,
+                                       cross_product_line_instance,
+                                       equal_size_packing_instance,
+                                       fig3_line3_instance, l5_for_regime,
+                                       lollipop_worstcase_instance,
+                                       mapping_line_instance,
+                                       star_worstcase_instance,
+                                       theorem5_domains,
+                                       theorem5_line_instance,
+                                       unbalanced_l5_instance)
+
+__all__ = [
+    "schemas_for", "uniform_instance", "skewed_instance",
+    "matching_relation", "one_to_many", "many_to_one", "cross_pairs",
+    "onto_mapping",
+    "fig3_line3_instance", "cross_product_line_instance",
+    "balanced_line_sizes", "star_worstcase_instance",
+    "equal_size_packing_instance", "cross_product_instance",
+    "unbalanced_l5_instance", "mapping_line_instance", "l5_for_regime",
+    "theorem5_domains", "theorem5_line_instance",
+    "dumbbell_worstcase_instance", "condition7_holds",
+    "lollipop_worstcase_instance",
+]

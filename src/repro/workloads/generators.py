@@ -1,0 +1,144 @@
+"""Random workload generators.
+
+Produces instances for correctness testing and average-case
+benchmarking: uniform random relations, skew-heavy relations (values
+hot enough to exercise the heavy paths of Section 2.3's loaders), and
+fully reduced variants (the paper's standing assumption).
+
+All generators return ``(schemas, data)`` pairs of plain dictionaries —
+the shape :meth:`repro.data.instance.Instance.from_dicts` and the
+internal-memory oracles both consume — with deterministic output for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.query.hypergraph import JoinQuery
+from repro.query.reduce import full_reduce
+
+Schemas = dict[str, tuple[str, ...]]
+Data = dict[str, list[tuple]]
+
+
+def schemas_for(query: JoinQuery, *, order: str = "sorted") -> Schemas:
+    """Column layouts for a query's relations.
+
+    ``order="sorted"`` lays attributes out alphabetically (the
+    convention of all builders here); ``order="chain"`` respects
+    ``v``-number order for line-like queries.
+    """
+    out: Schemas = {}
+    for e in query.edge_names:
+        attrs = sorted(query.edges[e])
+        if order == "chain":
+            attrs = sorted(query.edges[e], key=_attr_sort_key)
+        out[e] = tuple(attrs)
+    return out
+
+
+def _attr_sort_key(attr: str) -> tuple[int, str]:
+    digits = "".join(c for c in attr if c.isdigit())
+    return (int(digits) if digits else 0, attr)
+
+
+def uniform_instance(query: JoinQuery, sizes: Mapping[str, int] | int,
+                     domain: int, *, seed: int = 0,
+                     reduced: bool = False) -> tuple[Schemas, Data]:
+    """Uniform random tuples over ``[0, domain)`` per attribute.
+
+    ``sizes`` is either one size for all relations or per-edge sizes;
+    duplicates are rejected (relations are sets), so ``sizes`` must be
+    achievable within ``domain ** arity``.  With ``reduced=True`` the
+    instance is fully reduced afterwards (sizes then shrink).
+    """
+    rng = random.Random(seed)
+    schemas = schemas_for(query)
+    data: Data = {}
+    for e, attrs in schemas.items():
+        want = sizes if isinstance(sizes, int) else sizes[e]
+        capacity = domain ** len(attrs)
+        if want > capacity:
+            raise ValueError(f"cannot draw {want} distinct tuples from a "
+                             f"domain of {capacity} for {e}")
+        rows: set[tuple] = set()
+        while len(rows) < want:
+            rows.add(tuple(rng.randrange(domain) for _ in attrs))
+        data[e] = sorted(rows)
+    if reduced:
+        data = {e: sorted(t) for e, t in
+                full_reduce(query, data, schemas).items()}
+    return schemas, data
+
+
+def skewed_instance(query: JoinQuery, sizes: Mapping[str, int] | int,
+                    domain: int, *, hot_fraction: float = 0.5,
+                    hot_values: int = 2, seed: int = 0,
+                    reduced: bool = False) -> tuple[Schemas, Data]:
+    """Random tuples where join attributes are skewed toward hot values.
+
+    A ``hot_fraction`` of each relation's tuples take their join
+    attribute values from only ``hot_values`` choices, manufacturing
+    the heavy values (``≥ M`` occurrences) that drive the heavy-side
+    code paths of Algorithms 1 and 2.
+    """
+    from repro.query.classify import join_attributes
+
+    rng = random.Random(seed)
+    joins = join_attributes(query)
+    schemas = schemas_for(query)
+    data: Data = {}
+    for e, attrs in schemas.items():
+        want = sizes if isinstance(sizes, int) else sizes[e]
+        rows: set[tuple] = set()
+        attempts = 0
+        while len(rows) < want and attempts < want * 50:
+            attempts += 1
+            hot = rng.random() < hot_fraction
+            row = []
+            for a in attrs:
+                if a in joins and hot:
+                    row.append(rng.randrange(min(hot_values, domain)))
+                else:
+                    row.append(rng.randrange(domain))
+            rows.add(tuple(row))
+        data[e] = sorted(rows)
+    if reduced:
+        data = {e: sorted(t) for e, t in
+                full_reduce(query, data, schemas).items()}
+    return schemas, data
+
+
+def matching_relation(n: int, *, offset_left: int = 0,
+                      offset_right: int = 0) -> list[tuple]:
+    """A one-to-one matching ``{(offL + i, offR + i)}`` of size ``n``."""
+    return [(offset_left + i, offset_right + i) for i in range(n)]
+
+
+def one_to_many(n: int, left_value: int = 0) -> list[tuple]:
+    """``n`` tuples fanning out of a single left value."""
+    return [(left_value, i) for i in range(n)]
+
+
+def many_to_one(n: int, right_value: int = 0) -> list[tuple]:
+    """``n`` tuples funneling into a single right value."""
+    return [(i, right_value) for i in range(n)]
+
+
+def cross_pairs(n_left: int, n_right: int) -> list[tuple]:
+    """The full ``n_left × n_right`` cross product of two domains."""
+    return [(i, j) for i in range(n_left) for j in range(n_right)]
+
+
+def onto_mapping(n_left: int, n_right: int) -> list[tuple]:
+    """A surjective many-to-one mapping of size ``n_left`` onto ``n_right``.
+
+    The Section 6.3 constructions use these for the middle relation of
+    an unbalanced ``L5`` ("any mapping from dom(v3) onto dom(v4)").
+    """
+    if n_left < n_right:
+        raise ValueError(f"onto mapping needs n_left >= n_right "
+                         f"({n_left} < {n_right})")
+    return [(i, i % n_right) for i in range(n_left)]

@@ -1,0 +1,378 @@
+"""Worst-case instance constructions from the paper's proofs.
+
+Every optimality proof in Sections 5–7 constructs an explicit instance
+whose partial join on some subset matches the largest subjoin; these
+constructions drive the benchmarks' lower-bound measurements:
+
+* :func:`fig3_line3_instance` — Figure 3: every ``R1`` tuple joins
+  every ``R3`` tuple through a single middle tuple, realizing
+  ``ψ(R, {e1, e3}) = N1·N3/(MB)`` (the Theorem 1 matching bound);
+* :func:`cross_product_line_instance` — the Theorem 5/6 construction:
+  each relation is the cross product of its attribute domains, with
+  ``N_i = z_i · z_{i+1}``;
+* :func:`star_worstcase_instance` — Theorem 4: single-value join
+  domains, one-to-many petals, a one-tuple core — the partial join on
+  the petals is ``∏ N_i``;
+* :func:`equal_size_packing_instance` — Theorem 7: domains of size
+  ``N`` on a vertex packing (from the greedy cover's LP duality),
+  singleton domains elsewhere, cross-product relations;
+* :func:`unbalanced_l5_instance` — Section 6.3: cross products with
+  an *onto* middle mapping, feasible exactly when ``N1·N3·N5 < N2·N4``;
+* :func:`mapping_line_instance` — the general device behind the
+  Appendix A.3 ``L7`` case analysis: per-relation kind (cross product /
+  one-to-one / onto / one-to-many) over given domain sizes.
+
+All constructors return ``(schemas, data)``; relation attribute order
+is chain order for lines (``(v_i, v_{i+1})``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal, Sequence
+
+from repro.query.builders import line_query, star_query
+from repro.query.hypergraph import JoinQuery
+from repro.workloads.generators import (Data, Schemas, cross_pairs,
+                                        one_to_many, onto_mapping)
+
+RelationKind = Literal["cross", "one1", "onto", "fanout"]
+
+
+def fig3_line3_instance(n1: int, n3: int) -> tuple[Schemas, Data]:
+    """Figure 3's ``L3`` lower-bound instance.
+
+    ``dom(v2) = dom(v3) = {0}``: ``R1`` fans ``n1`` unique ``v1`` values
+    into the single ``v2`` value, ``R2`` is the lone bridge tuple, and
+    ``R3`` fans out to ``n3`` unique ``v4`` values.  The full join (and
+    the partial join on ``{e1, e3}``) has ``n1 · n3`` results while
+    ``|R2| = 1`` — the instance showing pairwise plans cannot win.
+    """
+    schemas: Schemas = {"e1": ("v1", "v2"), "e2": ("v2", "v3"),
+                        "e3": ("v3", "v4")}
+    data: Data = {"e1": [(i, 0) for i in range(n1)],
+                  "e2": [(0, 0)],
+                  "e3": [(0, j) for j in range(n3)]}
+    return schemas, data
+
+
+def cross_product_line_instance(domain_sizes: Sequence[int]
+                                ) -> tuple[Schemas, Data]:
+    """Theorem 5/6's construction: ``R_i = dom(v_i) × dom(v_{i+1})``.
+
+    ``domain_sizes[i]`` is ``z_{i+1} = |dom(v_{i+1})|``; relation sizes
+    come out as ``N_i = z_i · z_{i+1}``.  Every partial join on an
+    independent subset ``S`` has size ``∏_{e∈S} N(e)`` — the equality
+    behind Theorem 5 (and, with an interior ``z = 1``, Theorem 6).
+    """
+    z = list(domain_sizes)
+    if len(z) < 3:
+        raise ValueError("need at least 3 domain sizes (a 2-line join)")
+    if any(s < 1 for s in z):
+        raise ValueError("domain sizes must be positive")
+    n = len(z) - 1
+    schemas: Schemas = {f"e{i}": (f"v{i}", f"v{i + 1}")
+                        for i in range(1, n + 1)}
+    data: Data = {f"e{i}": cross_pairs(z[i - 1], z[i])
+                  for i in range(1, n + 1)}
+    return schemas, data
+
+
+def balanced_line_sizes(domain_sizes: Sequence[int]) -> list[int]:
+    """The relation sizes ``N_i = z_i · z_{i+1}`` of the construction."""
+    z = list(domain_sizes)
+    return [z[i] * z[i + 1] for i in range(len(z) - 1)]
+
+
+def theorem5_domains(sizes: Sequence[int],
+                     z1: int | None = None) -> list[int] | None:
+    """Solve Theorem 5's construction: domain sizes from relation sizes.
+
+    The proof sets ``z_i · z_{i+1} = N_i`` and shows the whole chain is
+    determined by ``z_1``; the balanced condition makes some choice of
+    ``z_1`` feasible (every ``z_i ≥ 1`` and ``z_i ≤ N_{i-1}, N_i``).
+    This function performs exactly that search over integer ``z_1``
+    (or validates a given one), returning the domain chain or ``None``
+    when no feasible integral chain exists — which is how the
+    *unbalanced* case manifests concretely (Section 6.3: "the
+    construction of R above is not feasible").
+    """
+    n = len(sizes)
+    if n == 0:
+        return None
+
+    def chain(z_first: int) -> list[int] | None:
+        z = [z_first]
+        for i in range(n):
+            prev = z[-1]
+            if prev <= 0 or sizes[i] % prev != 0:
+                return None
+            z.append(sizes[i] // prev)
+        for i, zi in enumerate(z):
+            if zi < 1:
+                return None
+            if i < n and zi > sizes[i]:
+                return None
+            if i > 0 and zi > sizes[i - 1]:
+                return None
+        return z
+
+    if z1 is not None:
+        return chain(z1)
+    for candidate in range(1, sizes[0] + 1):
+        if sizes[0] % candidate:
+            continue
+        z = chain(candidate)
+        if z is not None:
+            return z
+    return None
+
+
+def theorem5_line_instance(sizes: Sequence[int]) -> tuple[Schemas, Data]:
+    """Theorem 5's worst-case instance for the given relation sizes.
+
+    Raises :class:`ValueError` when the construction is infeasible —
+    by Theorem 5 this does not happen on balanced sizes that admit an
+    integral domain chain; unbalanced sizes are always rejected.
+    """
+    z = theorem5_domains(sizes)
+    if z is None:
+        raise ValueError(
+            f"Theorem 5's construction is infeasible for sizes "
+            f"{list(sizes)} (unbalanced, or no integral domain chain); "
+            f"see Section 6.3 for the unbalanced regime")
+    return cross_product_line_instance(z)
+
+
+def star_worstcase_instance(petal_sizes: Sequence[int]
+                            ) -> tuple[Schemas, Data]:
+    """Theorem 4's instance: partial join on the petals is ``∏ N_i``.
+
+    Join domains are singletons; petal ``i`` is a one-to-many matching
+    from the single ``v_i`` value to ``N_i`` unique values; the core is
+    one tuple connecting all the singleton values.
+    """
+    k = len(petal_sizes)
+    if k < 1:
+        raise ValueError("need at least one petal")
+    q = star_query(k)
+    schemas: Schemas = {"e0": tuple(f"v{i}" for i in range(1, k + 1))}
+    data: Data = {"e0": [tuple(0 for _ in range(k))]}
+    for i, n_i in enumerate(petal_sizes, start=1):
+        schemas[f"e{i}"] = (f"v{i}", f"u{i}")
+        data[f"e{i}"] = one_to_many(n_i)
+    assert set(schemas) == set(q.edges)
+    return schemas, data
+
+
+def equal_size_packing_instance(query: JoinQuery, N: int
+                                ) -> tuple[Schemas, Data]:
+    """Theorem 7's instance from the greedy cover's vertex packing.
+
+    Packed attributes get domains of size ``N``; every other attribute
+    a singleton domain; each relation is the cross product of its
+    domains.  Each edge covers at most one packed vertex, so every
+    relation has at most ``N`` tuples, while the partial join over the
+    cover's ``c`` relations has size ``N^c``.
+    """
+    from repro.query.covers import greedy_minimum_edge_cover
+
+    packing = set(greedy_minimum_edge_cover(query).packing)
+    dom = {a: (N if a in packing else 1) for a in query.attributes}
+    return cross_product_instance(query, dom)
+
+
+def cross_product_instance(query: JoinQuery, dom: dict[str, int]
+                           ) -> tuple[Schemas, Data]:
+    """Every relation as the cross product of its attributes' domains.
+
+    The workhorse of the Section 7 constructions (lollipop case (ii),
+    dumbbell cases, Theorem 7): attribute values are ``range(dom[a])``.
+    """
+    schemas: Schemas = {}
+    data: Data = {}
+    for e in query.edge_names:
+        attrs = tuple(sorted(query.edges[e], key=_attr_order))
+        schemas[e] = attrs
+        rows = [()]
+        for a in attrs:
+            rows = [r + (x,) for r in rows for x in range(dom[a])]
+        data[e] = rows
+    return schemas, data
+
+
+def _attr_order(attr: str) -> tuple[int, str]:
+    digits = "".join(c for c in attr if c.isdigit())
+    return (int(digits) if digits else 0, attr)
+
+
+def unbalanced_l5_instance(z1: int, z2: int, z3: int, z4: int, z5: int,
+                           z6: int) -> tuple[Schemas, Data]:
+    """Section 6.3's unbalanced ``L5``: an onto middle mapping.
+
+    ``R2`` and ``R4`` are cross products; ``R3`` is a surjective
+    many-to-one mapping ``dom(v3) → dom(v4)`` (``z3 ≥ z4`` required);
+    ``R1``/``R5`` are cross products at the ends.  Choosing
+    ``z3 = z4 = 1`` against large ``z2``, ``z5`` makes
+    ``N1·N3·N5 < N2·N4``.
+    """
+    if z3 < z4:
+        raise ValueError("onto mapping needs |dom(v3)| >= |dom(v4)|")
+    schemas: Schemas = {f"e{i}": (f"v{i}", f"v{i + 1}")
+                        for i in range(1, 6)}
+    data: Data = {
+        "e1": cross_pairs(z1, z2),
+        "e2": cross_pairs(z2, z3),
+        "e3": onto_mapping(z3, z4),
+        "e4": cross_pairs(z4, z5),
+        "e5": cross_pairs(z5, z6),
+    }
+    return schemas, data
+
+
+def mapping_line_instance(domain_sizes: Sequence[int],
+                          kinds: Sequence[RelationKind]
+                          ) -> tuple[Schemas, Data]:
+    """A line instance with a per-relation mapping kind (Appendix A.3).
+
+    ``kinds[i]`` builds ``R_{i+1}`` over ``dom(v_{i+1}) × dom(v_{i+2})``:
+
+    * ``"cross"`` — full cross product;
+    * ``"one1"`` — one-to-one matching (requires equal domain sizes);
+    * ``"onto"`` — surjective many-to-one (left ≥ right);
+    * ``"fanout"`` — one-to-many from each left value in turn
+      (right = left * width fan), requires right ≥ left.
+    """
+    z = list(domain_sizes)
+    n = len(z) - 1
+    if len(kinds) != n:
+        raise ValueError(f"{n} relations but {len(kinds)} kinds")
+    schemas: Schemas = {f"e{i}": (f"v{i}", f"v{i + 1}")
+                        for i in range(1, n + 1)}
+    data: Data = {}
+    for i, kind in enumerate(kinds, start=1):
+        left, right = z[i - 1], z[i]
+        if kind == "cross":
+            rows = cross_pairs(left, right)
+        elif kind == "one1":
+            if left != right:
+                raise ValueError(f"one-to-one needs equal domains at e{i}")
+            rows = [(x, x) for x in range(left)]
+        elif kind == "onto":
+            rows = onto_mapping(left, right)
+        elif kind == "fanout":
+            if right < left:
+                raise ValueError(f"fanout needs right >= left at e{i}")
+            width = right // left
+            rows = [(x, x * width + j) for x in range(left)
+                    for j in range(width)]
+        else:  # pragma: no cover - guarded by Literal
+            raise ValueError(f"unknown kind {kind!r}")
+        data[f"e{i}"] = rows
+    return schemas, data
+
+
+def l5_for_regime(total_scale: int, *, balanced: bool
+                  ) -> tuple[JoinQuery, Schemas, Data]:
+    """A ready-made ``L5`` in the requested balancedness regime.
+
+    Balanced: alternating domain sizes make ``N1·N3·N5 ≥ N2·N4``.
+    Unbalanced: tiny middle domains against wide ``N2``/``N4`` flip it.
+    """
+    s = max(2, total_scale)
+    if balanced:
+        schemas, data = cross_product_line_instance([s, 1, s, 1, s, 1])
+    else:
+        # Sizes come out as (s, 2s, 2, 2s, s): N1·N3·N5 = 2s² while
+        # N2·N4 = 4s², breaking the balanced condition.
+        schemas, data = unbalanced_l5_instance(1, s, 2, 2, s, 1)
+    sizes = {e: len(rows) for e, rows in data.items()}
+    query = line_query(5, [sizes[f"e{i}"] for i in range(1, 6)])
+    return query, schemas, data
+
+
+def lollipop_worstcase_instance(query: JoinQuery, *, case: str,
+                                scale: int) -> tuple[Schemas, Data]:
+    """The Section 7.2 lollipop constructions (cases (ii) and (iii)).
+
+    ``case="petals"`` sets ``|dom(v_n)| = scale`` (all other join
+    domains singletons) — the case (ii) instance whose partial join on
+    ``S ∪ {e_{n+1}}`` is the product of the sizes.  ``case="ends"``
+    puts ``scale`` on both the stick attribute and the tip attribute —
+    the case (iii) instance.
+    """
+    from repro.query.shapes import detect_lollipop
+
+    info = detect_lollipop(query)
+    if info is None:
+        raise ValueError("query is not a lollipop")
+    stick_attr = next(iter(query.edges[info.stick]
+                           & query.edges[info.core]))
+    outer_attr = next(iter(query.edges[info.stick] - {stick_attr}))
+    dom = {a: 1 for a in query.attributes}
+    for p in info.petals:
+        (u,) = query.edges[p] - query.edges[info.core]
+        dom[u] = scale
+    (tip_u,) = query.edges[info.tip] - {outer_attr}
+    dom[tip_u] = scale
+    if case == "petals":
+        dom[stick_attr] = scale
+    elif case == "ends":
+        dom[stick_attr] = scale
+        dom[outer_attr] = scale
+    else:
+        raise ValueError(f"unknown lollipop case {case!r}")
+    return cross_product_instance(query, dom)
+
+
+def dumbbell_worstcase_instance(query: JoinQuery, *, case: str,
+                                scale: int) -> tuple[Schemas, Data]:
+    """The Appendix A.4 dumbbell constructions (simplified cases).
+
+    ``case="independent"`` — A.4 case (i) with ``f = {e_n}``: all join
+    domains singletons except the petal unique attributes, making the
+    partial join on petals + bar the product of their sizes.
+    ``case="cores"`` — the ``f = {e_0, e_m}`` flavour of case (iv):
+    the bar attributes get width so both cores grow, exercising the
+    balancing condition (7) boundary.
+    """
+    from repro.query.shapes import detect_dumbbell
+
+    info = detect_dumbbell(query)
+    if info is None:
+        raise ValueError("query is not a dumbbell")
+    dom = {a: 1 for a in query.attributes}
+    for p in info.petals1 + info.petals2:
+        core = info.core1 if p in info.petals1 else info.core2
+        (u,) = query.edges[p] - query.edges[core]
+        dom[u] = scale
+    if case == "independent":
+        pass  # singleton join domains throughout
+    elif case == "cores":
+        for a in sorted(query.edges[info.bar]):
+            dom[a] = 2
+    else:
+        raise ValueError(f"unknown dumbbell case {case!r}")
+    return cross_product_instance(query, dom)
+
+
+def condition7_holds(query: JoinQuery, sizes: dict[str, int]) -> bool:
+    """Section 7.3's condition (7): ``N_i · N_j ≥ N_0 · N_m``.
+
+    ``i`` ranges over the first star's petals and ``j`` over the
+    second's; under this condition Algorithm 2 is optimal on the
+    dumbbell.
+    """
+    from repro.query.shapes import detect_dumbbell
+
+    info = detect_dumbbell(query)
+    if info is None:
+        raise ValueError("query is not a dumbbell")
+    core_product = sizes[info.core1] * sizes[info.core2]
+    return all(sizes[i] * sizes[j] >= core_product
+               for i in info.petals1 for j in info.petals2)
+
+
+def scaled(value: float) -> int:
+    """Round a float size parameter to a usable positive integer."""
+    return max(1, int(math.floor(value)))

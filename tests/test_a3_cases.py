@@ -1,0 +1,87 @@
+"""The four Appendix A.3 case families for the unbalanced ``L7``.
+
+A.3 analyzes which of the three balancing conditions break on an
+``L7`` with cover ``(1,0,1,0,1,0,1)``:
+
+* (a) ``N1·N3·N5·N7 ≥ N2·N4·N6``
+* (b) ``N1·N3·N5 ≥ N2·N4``
+* (c) ``N3·N5·N7 ≥ N4·N6``
+
+with four essentially distinct situations: (i) all broken,
+(ii) (a)+(b) broken (≅ (a)+(c) by symmetry), (iii) only (a) broken,
+(iv) only (b) broken (≅ only (c)).  The concrete instance families
+below (found by search over the mapping-kind constructions) realize
+each pattern; Algorithm 5 must stay correct and cost-competitive with
+Algorithm 2's best branch on every one.
+"""
+
+import pytest
+
+from repro import Device, Instance
+from repro.core import (AssignmentEmitter, acyclic_join_best,
+                        line7_unbalanced_join)
+from repro.internal import join_query
+from repro.query import line_query
+from repro.workloads import mapping_line_instance
+
+# (label, broken (a,b,c), domain chain z, relation kinds)
+A3_FAMILIES = [
+    ("case-i: all broken", (True, True, True),
+     (2, 8, 8, 8, 8, 8, 6, 2),
+     ("fanout", "cross", "fanout", "cross", "onto", "onto", "onto")),
+    ("case-ii: (a)+(b) broken", (True, True, False),
+     (3, 3, 6, 4, 4, 2, 1, 4),
+     ("onto", "cross", "onto", "cross", "onto", "cross", "cross")),
+    ("case-iii: only (a) broken", (True, False, False),
+     (4, 4, 6, 6, 6, 2, 2, 1),
+     ("onto", "cross", "onto", "fanout", "onto", "cross", "onto")),
+    ("case-iv: only (c) broken", (False, False, True),
+     (2, 6, 1, 6, 3, 3, 3, 6),
+     ("cross", "onto", "fanout", "cross", "fanout", "cross", "fanout")),
+]
+
+
+def broken_conditions(sizes):
+    n1, n2, n3, n4, n5, n6, n7 = sizes
+    return (n1 * n3 * n5 * n7 < n2 * n4 * n6,
+            n1 * n3 * n5 < n2 * n4,
+            n3 * n5 * n7 < n4 * n6)
+
+
+class TestA3Families:
+    @pytest.mark.parametrize("label,broken,z,kinds", A3_FAMILIES)
+    def test_family_realizes_its_pattern(self, label, broken, z, kinds):
+        schemas, data = mapping_line_instance(z, list(kinds))
+        sizes = [len(data[f"e{i}"]) for i in range(1, 8)]
+        assert broken_conditions(sizes) == broken, (label, sizes)
+
+    @pytest.mark.parametrize("label,broken,z,kinds", A3_FAMILIES)
+    def test_algorithm5_correct_on_each_case(self, label, broken, z,
+                                             kinds):
+        schemas, data = mapping_line_instance(z, list(kinds))
+        q = line_query(7)
+        oracle = join_query(q, data, schemas)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        line7_unbalanced_join(q, inst, em, plan_limit=4)
+        assert em.assignment_set() == oracle
+        assert em.count == len(oracle)
+
+    def test_algorithm5_competitive_on_all_broken(self):
+        # The hardest case (i): Algorithm 5 should not lose badly to
+        # Algorithm 2's best branch (it wins asymptotically; at this
+        # scale allow a small constant either way).
+        label, broken, z, kinds = A3_FAMILIES[0]
+        schemas, data = mapping_line_instance(z, list(kinds))
+        q = line_query(7)
+
+        device5 = Device(M=4, B=2)
+        inst5 = Instance.from_dicts(device5, schemas, data)
+        from repro.core import CountingEmitter
+        line7_unbalanced_join(q, inst5, CountingEmitter(), plan_limit=4)
+
+        device2 = Device(M=4, B=2)
+        inst2 = Instance.from_dicts(device2, schemas, data)
+        best = acyclic_join_best(q, inst2, limit=4)
+        assert device5.stats.total <= 2.5 * best.io

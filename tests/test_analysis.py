@@ -1,0 +1,152 @@
+"""Tests for the analysis layer: Ψ/ψ, bounds, certificates (Section 1.4)."""
+
+import pytest
+
+from repro.analysis import (all_subsets, certify, dominant_subsets,
+                            equal_size_bound, gens_bound, line3_bound,
+                            line4_bound, line_independent_bound,
+                            lower_bound, nested_loop_cascade_bound,
+                            partial_join_size, psi_partial, psi_subjoin,
+                            star_bound, subjoin_size, theorem2_bound,
+                            two_relation_bound)
+from repro.query import line_query, star_query
+from repro.workloads import fig3_line3_instance, schemas_for
+
+
+def figure1_style_instance():
+    """An L3 where the subjoin on {e1, e3} strictly exceeds the partial
+    join — the Figure 1 phenomenon: the subjoin is a cross product, but
+    only some (t1, t3) pairs extend to full paths."""
+    schemas = {"e1": ("v1", "v2"), "e2": ("v2", "v3"),
+               "e3": ("v3", "v4")}
+    data = {"e1": [(1, 0), (2, 1)],
+            "e2": [(0, 0), (1, 1)],
+            "e3": [(0, 10), (1, 11)]}
+    # paths: (1,0)-(0,0)-(0,10) and (2,1)-(1,1)-(1,11); but subjoin
+    # {e1,e3} = cross product of 2x2 = 4 pairs.
+    return line_query(3), schemas, data
+
+
+class TestSubjoinVsPartial:
+    def test_figure1_distinction(self):
+        q, schemas, data = figure1_style_instance()
+        s = {"e1", "e3"}
+        assert subjoin_size(q, data, schemas, s) == 4
+        assert partial_join_size(q, data, schemas, s) == 2
+
+    def test_connected_subset_sizes_agree_on_reduced(self):
+        # For connected S on fully reduced acyclic instances,
+        # subjoin == partial join (Section 1.4).
+        q, schemas, data = figure1_style_instance()
+        for s in [{"e1", "e2"}, {"e2", "e3"}, {"e1", "e2", "e3"}]:
+            assert subjoin_size(q, data, schemas, s) \
+                == partial_join_size(q, data, schemas, s)
+
+    def test_empty_subset(self):
+        q, schemas, data = figure1_style_instance()
+        assert subjoin_size(q, data, schemas, set()) == 1
+        assert psi_subjoin(q, data, schemas, set(), 4, 2) == 0.0
+
+    def test_singleton_subset_is_relation_size(self):
+        q, schemas, data = figure1_style_instance()
+        assert subjoin_size(q, data, schemas, {"e2"}) == 2
+        assert partial_join_size(q, data, schemas, {"e2"}) == 2
+
+
+class TestPsi:
+    def test_psi_formula(self):
+        q, schemas, data = figure1_style_instance()
+        # Ψ({e1,e3}) = 4 / (M^1 B)
+        assert psi_subjoin(q, data, schemas, {"e1", "e3"}, 4, 2) \
+            == pytest.approx(4 / 8)
+        assert psi_partial(q, data, schemas, {"e1", "e3"}, 4, 2) \
+            == pytest.approx(2 / 8)
+
+    def test_lower_bound_on_fig3(self):
+        schemas, data = fig3_line3_instance(32, 32)
+        q = line_query(3)
+        lb = lower_bound(q, data, schemas, 8, 2)
+        # dominated by ψ({e1,e3}) = 32*32/(8*2)
+        assert lb == pytest.approx(32 * 32 / 16)
+
+    def test_bound_ordering(self):
+        # lower <= gens <= theorem2 always.
+        schemas, data = fig3_line3_instance(16, 16)
+        q = line_query(3)
+        lb = lower_bound(q, data, schemas, 4, 2)
+        gb = gens_bound(q, data, schemas, 4, 2)
+        t2 = theorem2_bound(q, data, schemas, 4, 2)
+        assert lb <= gb + 1e-9 <= t2 + 1e-9
+
+    def test_gens_tighter_than_theorem2_on_star(self):
+        # The star observation: GenS avoids the core+all-petals subjoin.
+        schemas = {"e0": ("v1", "v2"), "e1": ("u1", "v1"),
+                   "e2": ("u2", "v2")}
+        data = {"e0": [(0, j) for j in range(8)],
+                "e1": [(i, 0) for i in range(8)],
+                "e2": [(i, j) for i in range(2) for j in range(4)]}
+        q = star_query(2)
+        gb = gens_bound(q, data, schemas, 2, 1)
+        t2 = theorem2_bound(q, data, schemas, 2, 1)
+        assert gb <= t2
+
+    def test_all_subsets_count(self):
+        assert len(all_subsets(line_query(3))) == 7
+
+    def test_dominant_subsets_sorted(self):
+        schemas, data = fig3_line3_instance(16, 16)
+        q = line_query(3)
+        tops = dominant_subsets(q, data, schemas, 4, 2, top=3)
+        values = [v for _, v in tops]
+        assert values == sorted(values, reverse=True)
+        assert tops[0][0] == frozenset({"e1", "e3"})
+
+
+class TestClosedFormBounds:
+    def test_two_relation(self):
+        assert two_relation_bound(100, 100, 10, 5) \
+            == pytest.approx(10000 / 50 + 200 / 5)
+
+    def test_line3(self):
+        assert line3_bound(64, 64, 8, 2) \
+            == pytest.approx(64 * 64 / 16 + 128 / 2)
+
+    def test_line4_min_of_strategies(self):
+        b_small2 = line4_bound([10, 2, 50, 10], 2, 1)
+        b_small3 = line4_bound([10, 50, 2, 10], 2, 1)
+        assert b_small2 == b_small3  # symmetric min
+
+    def test_line_independent_bound_dominates_pairs(self):
+        b = line_independent_bound([10] * 5, 2, 1)
+        assert b >= 10 * 10 * 10 / 4
+
+    def test_star_bound(self):
+        assert star_bound(5, [10, 10], 2, 1) \
+            == pytest.approx(100 / 2 + 25 / 1)
+
+    def test_equal_size_bound_uses_cover_number(self):
+        q = line_query(5)
+        b = equal_size_bound(q, 100, 10, 2)
+        assert b == pytest.approx((100 / 10) ** 3 * 10 / 2
+                                  + 5 * 100 / 2)
+
+    def test_cascade_bound(self):
+        assert nested_loop_cascade_bound([10, 10, 10], 2, 1) \
+            == pytest.approx(1000 / 4 + 30)
+
+
+class TestCertificate:
+    def test_ratios(self):
+        schemas, data = fig3_line3_instance(32, 32)
+        q = line_query(3)
+        cert = certify(q, data, schemas, 8, 2, measured_io=200)
+        assert cert.lower > 0
+        assert cert.measured_over_lower == pytest.approx(200 / cert.lower)
+        assert cert.gap >= 1.0 - 1e-9
+
+    def test_zero_lower_bound_gives_inf(self):
+        q = line_query(2)
+        schemas = schemas_for(q)
+        data = {"e1": [], "e2": []}
+        cert = certify(q, data, schemas, 4, 2, measured_io=1)
+        assert cert.measured_over_lower == float("inf")

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_tables(tmp_path):
+    (tmp_path / "follows.csv").write_text(
+        "src,dst\n" + "\n".join(f"{i},{(i + 1) % 4}" for i in range(4)))
+    (tmp_path / "lives.csv").write_text(
+        "dst,city\n" + "\n".join(f"{i},{100 + i}" for i in range(4)))
+    return tmp_path
+
+
+class TestRun:
+    def test_basic_join(self, csv_tables, capsys):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "-M", "64", "-B", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "results     : 4" in out
+        assert "two-way-sort-merge" in out
+        assert "phases" in out
+
+    def test_out_csv(self, csv_tables, capsys):
+        out_path = csv_tables / "res.csv"
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "--out", str(out_path)])
+        assert rc == 0
+        assert len(out_path.read_text().strip().splitlines()) == 5
+
+    def test_certificate(self, csv_tables, capsys):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "--certificate"])
+        assert rc == 0
+        assert "certificate" in capsys.readouterr().out
+
+    def test_missing_table_errors(self, csv_tables, capsys):
+        rc = main(["run", "--query", "follows(src,dst), lives(dst,city)",
+                   "--table", f"follows={csv_tables}/follows.csv"])
+        assert rc == 2
+        assert "no --table" in capsys.readouterr().err
+
+    def test_bad_table_spec(self, csv_tables, capsys):
+        rc = main(["run", "--query", "follows(src,dst)",
+                   "--table", "followspath.csv"])
+        assert rc == 2
+
+    def test_mismatched_columns(self, csv_tables, capsys):
+        rc = main(["run", "--query", "follows(a, b)",
+                   "--table", f"follows={csv_tables}/follows.csv"])
+        assert rc == 2
+        assert "columns" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_line_with_sizes(self, capsys):
+        rc = main(["analyze", "--query",
+                   "e1(v1,v2)[100], e2(v2,v3)[10], e3(v3,v4)[100]"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "berge-acyclic  : True" in out
+        assert "shape          : line" in out
+        assert "AGM bound      : 10000.0" in out
+        assert "line regime" in out
+        assert "GenS branches" in out
+
+    def test_structural_only(self, capsys):
+        rc = main(["analyze", "--query", "R(a,b), S(b,c), T(c,d)"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "AGM" not in out  # no sizes attached
+
+    def test_cyclic_query_reported(self, capsys):
+        rc = main(["analyze", "--query",
+                   "e1(a,b)[9], e2(a,c)[9], e3(b,c)[9]"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "berge-acyclic  : False" in out
+        assert "triangle" in out

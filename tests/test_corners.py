@@ -1,0 +1,122 @@
+"""Corner cases called out by the paper's proofs and API edges.
+
+* Appendix A.2's last paragraph: "two or more petals joining with e0 on
+  the same join attribute" — the star machinery and Algorithm 2 must
+  handle shared-attribute petals.
+* Relation names that are not Python identifiers (the instance API
+  must not rely on keyword arguments anywhere on the hot path).
+* Very small machines (M = B) and single-page relations.
+"""
+
+import pytest
+
+from repro import Device, Instance
+from repro.core import (AssignmentEmitter, CountingEmitter, acyclic_join,
+                        execute)
+from repro.internal import join_query
+from repro.query import JoinQuery, find_stars, line_query
+from repro.query.shapes import classify_shape
+
+
+class TestSharedAttributePetals:
+    def query(self):
+        # Core e0(v1, v2); petals e1, e2 BOTH on v1; petal e3 on v2.
+        return JoinQuery(edges={
+            "e0": frozenset({"v1", "v2"}),
+            "e1": frozenset({"v1", "u1"}),
+            "e2": frozenset({"v1", "u2"}),
+            "e3": frozenset({"v2", "u3"}),
+        })
+
+    def test_star_detection_sees_all_petals(self):
+        q = self.query()
+        stars = [s for s in find_stars(q) if s.core == "e0"]
+        assert any(s.petals == frozenset({"e1", "e2", "e3"})
+                   for s in stars)
+
+    def test_join_correct_with_shared_attr_petals(self):
+        q = self.query()
+        schemas = {"e0": ("v1", "v2"), "e1": ("u1", "v1"),
+                   "e2": ("u2", "v1"), "e3": ("u3", "v2")}
+        data = {"e0": [(i % 2, i % 3) for i in range(6)],
+                "e1": [(i, i % 2) for i in range(8)],
+                "e2": [(i, i % 2) for i in range(8)],
+                "e3": [(i, i % 3) for i in range(9)]}
+        oracle = join_query(q, data, schemas)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        acyclic_join(q, inst, em)
+        assert em.assignment_set() == oracle
+        assert em.count == len(oracle)
+
+    def test_shape_is_star(self):
+        assert classify_shape(self.query()) == "star"
+
+
+class TestNonIdentifierNames:
+    def test_dashed_and_dotted_names(self):
+        q = JoinQuery(edges={
+            "fact-2024": frozenset({"k", "x"}),
+            "dim.customer": frozenset({"k", "name"}),
+        })
+        schemas = {"fact-2024": ("k", "x"), "dim.customer": ("k", "name")}
+        data = {"fact-2024": [(1, 10), (2, 20)],
+                "dim.customer": [(1, "a"), (2, "b"), (3, "c")]}
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        execute(q, inst, em)
+        assert em.count == 2
+
+
+class TestTinyMachines:
+    def test_m_equals_b(self):
+        q = line_query(3)
+        schemas = {"e1": ("v1", "v2"), "e2": ("v2", "v3"),
+                   "e3": ("v3", "v4")}
+        data = {"e1": [(i, i % 2) for i in range(6)],
+                "e2": [(i % 2, i % 3) for i in range(5)],
+                "e3": [(i % 3, i) for i in range(6)]}
+        oracle = join_query(q, data, schemas)
+        device = Device(M=2, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        acyclic_join(q, inst, em)
+        assert em.assignment_set() == oracle
+
+    def test_single_tuple_relations(self):
+        q = line_query(4)
+        schemas = {f"e{i}": (f"v{i}", f"v{i + 1}") for i in range(1, 5)}
+        data = {f"e{i}": [(0, 0)] for i in range(1, 5)}
+        device = Device(M=2, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = CountingEmitter()
+        acyclic_join(q, inst, em)
+        assert em.count == 1
+
+    def test_all_relations_empty(self):
+        q = line_query(3)
+        schemas = {"e1": ("v1", "v2"), "e2": ("v2", "v3"),
+                   "e3": ("v3", "v4")}
+        data = {"e1": [], "e2": [], "e3": []}
+        device = Device(M=2, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = CountingEmitter()
+        acyclic_join(q, inst, em)
+        assert em.count == 0
+
+
+class TestStrictMemoryMode:
+    def test_algorithms_respect_slacked_budget(self):
+        # With strict accounting on and the paper's c·M allowance, the
+        # recursion must not blow the budget.
+        q = line_query(4)
+        schemas = {f"e{i}": (f"v{i}", f"v{i + 1}") for i in range(1, 5)}
+        data = {f"e{i}": [(j % 5, (j + i) % 5) for j in range(20)]
+                for i in range(1, 5)}
+        data = {e: sorted(set(t)) for e, t in data.items()}
+        device = Device(M=8, B=2, mem_slack=16.0, strict_memory=True)
+        inst = Instance.from_dicts(device, schemas, data)
+        acyclic_join(q, inst, CountingEmitter())   # must not raise
+        assert device.memory.peak <= 16 * 8

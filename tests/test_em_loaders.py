@@ -1,0 +1,141 @@
+"""Unit tests for the Section 2.3 chunk loaders and skew handling."""
+
+import pytest
+
+from repro.em import (Device, group_boundaries, load_chunks,
+                      load_group_chunks, load_light_chunks, scan_matching,
+                      split_heavy_light)
+
+
+def sorted_file(device, rows, name="r"):
+    f = device.new_file(name)
+    with f.writer() as w:
+        for t in sorted(rows):
+            w.append(t)
+    return f
+
+
+def key0(t):
+    return t[0]
+
+
+class TestGroupBoundaries:
+    def test_groups_cover_file_in_order(self, small_device):
+        rows = [(0, i) for i in range(3)] + [(1, i) for i in range(5)] \
+            + [(7, 0)]
+        f = sorted_file(small_device, rows)
+        groups = group_boundaries(f.whole(), key0)
+        assert [g.value for g in groups] == [0, 1, 7]
+        assert [g.count for g in groups] == [3, 5, 1]
+        assert groups[0].start == 0
+        assert groups[-1].stop == len(f)
+        for a, b in zip(groups, groups[1:]):
+            assert a.stop == b.start
+
+    def test_costs_one_scan(self, small_device):
+        f = sorted_file(small_device, [(i // 3, i) for i in range(24)])
+        small_device.stats.reset()
+        group_boundaries(f.whole(), key0)
+        assert small_device.stats.reads == small_device.pages(24)
+
+    def test_empty_file(self, small_device):
+        f = sorted_file(small_device, [])
+        assert group_boundaries(f.whole(), key0) == []
+
+
+class TestHeavyLightSplit:
+    def test_threshold_is_at_least_m(self):
+        device = Device(M=4, B=2)
+        rows = [(0, i) for i in range(4)] + [(1, i) for i in range(3)]
+        f = sorted_file(device, rows)
+        groups = group_boundaries(f.whole(), key0)
+        heavy, light = split_heavy_light(groups, device.M)
+        assert [g.value for g in heavy] == [0]   # 4 >= M
+        assert [g.value for g in light] == [1]   # 3 < M
+
+
+class TestLoadChunks:
+    def test_chunks_of_m_tuples(self, small_device):
+        f = sorted_file(small_device, [(i,) for i in range(40)])
+        chunks = list(load_chunks(f.whole(), small_device.M))
+        assert [len(c) for c in chunks] == [16, 16, 8]
+        assert [t for c in chunks for t in c] == [(i,) for i in range(40)]
+
+    def test_memory_gauge_charged_during_yield(self, small_device):
+        f = sorted_file(small_device, [(i,) for i in range(20)])
+        for chunk in load_chunks(f.whole(), small_device.M):
+            assert small_device.memory.current >= len(chunk)
+        assert small_device.memory.current == 0
+
+
+class TestLoadGroupChunks:
+    def test_reads_only_the_group(self, small_device):
+        rows = ([(0, i) for i in range(20)] + [(1, i) for i in range(20)]
+                + [(2, i) for i in range(4)])
+        f = sorted_file(small_device, rows)
+        groups = group_boundaries(f.whole(), key0)
+        small_device.stats.reset()
+        chunks = list(load_group_chunks(f.whole(), groups[1],
+                                        small_device.M))
+        assert sum(len(c) for c in chunks) == 20
+        assert all(t[0] == 1 for c in chunks for t in c)
+
+
+class TestLoadLightChunks:
+    def test_light_chunk_invariants(self):
+        # The paper's guarantees: < 2M tuples and < M-or-so distinct
+        # values per chunk; groups never split across chunks.
+        device = Device(M=8, B=2)
+        rows = []
+        for v in range(12):
+            for j in range(v % 4 + 1):   # group sizes 1..4, all < M
+                rows.append((v, j))
+        f = sorted_file(device, rows)
+        groups = group_boundaries(f.whole(), key0)
+        heavy, light = split_heavy_light(groups, device.M)
+        assert not heavy
+        seen = []
+        for chunk in load_light_chunks(f.whole(), light, device.M):
+            assert len(chunk) < 2 * device.M
+            values = [t[0] for t in chunk]
+            assert len(set(values)) <= device.M
+            seen.extend(chunk)
+            # group atomicity: a value never spans chunks
+        assert seen == sorted(rows)
+        all_values = [t[0] for t in seen]
+        # each value forms one contiguous run across the concatenation
+        runs = {v: [i for i, x in enumerate(all_values) if x == v]
+                for v in set(all_values)}
+        for idxs in runs.values():
+            assert idxs == list(range(idxs[0], idxs[-1] + 1))
+
+    def test_skips_heavy_groups_without_reading_them(self):
+        device = Device(M=4, B=2)
+        rows = [(0, i) for i in range(2)] + [(1, i) for i in range(40)] \
+            + [(2, i) for i in range(2)]
+        f = sorted_file(device, rows)
+        groups = group_boundaries(f.whole(), key0)
+        heavy, light = split_heavy_light(groups, device.M)
+        assert [g.value for g in heavy] == [1]
+        device.stats.reset()
+        out = [t for c in load_light_chunks(f.whole(), light, device.M)
+               for t in c]
+        assert all(t[0] != 1 for t in out)
+        # far fewer reads than the full 22-page file
+        assert device.stats.reads <= 4
+
+    def test_rejects_heavy_group(self):
+        device = Device(M=2, B=2)
+        rows = [(0, i) for i in range(5)]
+        f = sorted_file(device, rows)
+        groups = group_boundaries(f.whole(), key0)
+        with pytest.raises(ValueError):
+            list(load_light_chunks(f.whole(), groups, device.M))
+
+
+class TestScanMatching:
+    def test_filters_by_membership(self, small_device):
+        f = sorted_file(small_device, [(i % 5, i) for i in range(25)])
+        out = list(scan_matching(f.whole(), key0, {1, 3}))
+        assert all(t[0] in (1, 3) for t in out)
+        assert len(out) == 10

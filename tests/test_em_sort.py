@@ -1,0 +1,80 @@
+"""Unit and property tests for external merge sort."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em import Device, external_sort, is_sorted
+
+
+def make_file(device, rows):
+    f = device.new_file("in")
+    with f.writer() as w:
+        for t in rows:
+            w.append(t)
+    return f
+
+
+class TestExternalSort:
+    def test_sorts_small_input(self, small_device):
+        rows = [(i,) for i in (5, 3, 9, 1, 1, 7)]
+        f = make_file(small_device, rows)
+        out = external_sort(f, lambda t: t[0])
+        assert list(out.peek_tuples()) == sorted(rows)
+
+    def test_sorts_multi_run_input(self):
+        device = Device(M=8, B=2)
+        rng = random.Random(1)
+        rows = [(rng.randrange(1000), i) for i in range(200)]
+        f = make_file(device, rows)
+        out = external_sort(f, lambda t: t[0])
+        assert is_sorted(out, lambda t: t[0])
+        assert sorted(out.peek_tuples()) == sorted(rows)
+
+    def test_empty_input(self, small_device):
+        f = make_file(small_device, [])
+        out = external_sort(f, lambda t: t[0])
+        assert len(out) == 0
+
+    def test_single_run_costs_one_read_and_write_pass(self):
+        device = Device(M=64, B=4)
+        rows = [(i % 7,) for i in range(64)]  # fits in one memory load
+        f = device.file_from_tuples_free(rows)
+        device.stats.reset()
+        external_sort(f, lambda t: t[0])
+        assert device.stats.reads == 16
+        assert device.stats.writes == 16
+
+    def test_io_within_sort_bound(self):
+        # Õ((N/B) log_{M/B}(N/M)) with small constants.
+        device = Device(M=16, B=4)
+        rng = random.Random(2)
+        n = 400
+        f = device.file_from_tuples_free([(rng.randrange(10**6),)
+                                          for _ in range(n)])
+        device.stats.reset()
+        external_sort(f, lambda t: t[0])
+        pages = n / device.B
+        fan_in = device.M // device.B - 1
+        passes = 1 + math.ceil(math.log(max(2, n / device.M), fan_in))
+        assert device.stats.total <= 2 * pages * (passes + 1)
+
+    def test_sorts_segment_only(self, small_device):
+        f = make_file(small_device, [(9 - i,) for i in range(10)])
+        out = external_sort(f.segment(2, 7), lambda t: t[0])
+        assert list(out.peek_tuples()) == sorted(
+            f.peek_tuples()[2:7])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-50, 50), max_size=120),
+           st.integers(2, 6))
+    def test_property_sorted_permutation(self, values, b):
+        device = Device(M=max(b, 8), B=b)
+        rows = [(v, i) for i, v in enumerate(values)]
+        f = device.file_from_tuples_free(rows)
+        out = external_sort(f, lambda t: t[0])
+        result = list(out.peek_tuples())
+        assert sorted(result) == sorted(rows)
+        assert is_sorted(out, lambda t: t[0])

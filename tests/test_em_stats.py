@@ -1,0 +1,85 @@
+"""Unit tests for I/O counters and the memory gauge."""
+
+import pytest
+
+from repro.em import IOStats, MemoryBudgetExceeded, MemoryGauge
+
+
+class TestIOStats:
+    def test_starts_at_zero(self):
+        s = IOStats()
+        assert s.reads == 0 and s.writes == 0 and s.total == 0
+
+    def test_total_sums_reads_and_writes(self):
+        s = IOStats(reads=3, writes=5)
+        assert s.total == 8
+
+    def test_snapshot_is_independent(self):
+        s = IOStats(reads=1)
+        snap = s.snapshot()
+        s.reads += 10
+        assert snap.reads == 1 and s.reads == 11
+
+    def test_delta_since(self):
+        s = IOStats(reads=2, writes=3)
+        snap = s.snapshot()
+        s.reads += 5
+        s.writes += 1
+        d = s.delta_since(snap)
+        assert d.reads == 5 and d.writes == 1
+
+    def test_add(self):
+        a = IOStats(reads=1, writes=2)
+        b = IOStats(reads=10, writes=20)
+        c = a + b
+        assert c.reads == 11 and c.writes == 22
+
+    def test_reset(self):
+        s = IOStats(reads=7, writes=7)
+        s.reset()
+        assert s.total == 0
+
+
+class TestMemoryGauge:
+    def test_charge_and_release_track_peak(self):
+        g = MemoryGauge(capacity=10)
+        g.charge(4)
+        g.charge(3)
+        g.release(5)
+        assert g.current == 2
+        assert g.peak == 7
+
+    def test_hold_context_manager(self):
+        g = MemoryGauge(capacity=10)
+        with g.hold(6):
+            assert g.current == 6
+        assert g.current == 0
+        assert g.peak == 6
+
+    def test_strict_mode_raises_beyond_slack(self):
+        g = MemoryGauge(capacity=10, slack=2.0, strict=True)
+        g.charge(20)  # exactly at the limit
+        with pytest.raises(MemoryBudgetExceeded):
+            g.charge(1)
+
+    def test_non_strict_only_records(self):
+        g = MemoryGauge(capacity=10, slack=1.0, strict=False)
+        g.charge(1000)
+        assert g.peak == 1000
+
+    def test_negative_charge_rejected(self):
+        g = MemoryGauge(capacity=10)
+        with pytest.raises(ValueError):
+            g.charge(-1)
+
+    def test_over_release_rejected(self):
+        g = MemoryGauge(capacity=10)
+        g.charge(2)
+        with pytest.raises(ValueError):
+            g.release(3)
+
+    def test_reset(self):
+        g = MemoryGauge(capacity=10)
+        g.charge(5)
+        g.reset()
+        assert g.current == 0 and g.peak == 0

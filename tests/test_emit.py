@@ -1,0 +1,58 @@
+"""Tests for the emit model implementations."""
+
+import pytest
+
+from repro.core import (AssignmentEmitter, CallbackEmitter,
+                        CollectingEmitter, CountingEmitter)
+
+
+class TestCountingEmitter:
+    def test_counts_and_checksums(self):
+        a, b = CountingEmitter(), CountingEmitter()
+        r1 = {"e1": (1, 2), "e2": (2, 3)}
+        r2 = {"e1": (5, 6), "e2": (6, 7)}
+        a.emit(r1)
+        a.emit(r2)
+        b.emit(r2)
+        b.emit(r1)
+        assert a.signature() == b.signature()   # order-insensitive
+        assert a.count == 2
+
+    def test_duplicates_change_count_not_checksum(self):
+        a, b = CountingEmitter(), CountingEmitter()
+        r = {"e1": (1, 2)}
+        a.emit(r)
+        b.emit(r)
+        b.emit(r)
+        assert a.checksum != b.checksum or a.count != b.count
+
+
+class TestCollectingEmitter:
+    def test_collects_copies(self):
+        em = CollectingEmitter()
+        r = {"e1": (1, 2)}
+        em.emit(r)
+        r["e1"] = (9, 9)
+        assert em.results[0]["e1"] == (1, 2)
+        assert em.count == 1
+        assert em.result_set() == {frozenset({("e1", (1, 2))})}
+
+
+class TestAssignmentEmitter:
+    def test_flattens_consistent_results(self):
+        em = AssignmentEmitter({"e1": ("a", "b"), "e2": ("b", "c")})
+        em.emit({"e1": (1, 2), "e2": (2, 3)})
+        assert em.assignment_set() == {(("a", 1), ("b", 2), ("c", 3))}
+
+    def test_rejects_inconsistent_results(self):
+        em = AssignmentEmitter({"e1": ("a", "b"), "e2": ("b", "c")})
+        with pytest.raises(AssertionError):
+            em.emit({"e1": (1, 2), "e2": (99, 3)})
+
+
+class TestCallbackEmitter:
+    def test_invokes_function(self):
+        seen = []
+        em = CallbackEmitter(seen.append)
+        em.emit({"e1": (1,)})
+        assert seen == [{"e1": (1,)}]

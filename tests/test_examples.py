@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+The quickstart runs end-to-end (it is fast); the heavier examples are
+compile-checked and their entry points imported, which catches API
+drift without paying their full runtime in the unit suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py", "star_schema_warehouse.py",
+        "path_queries_graph.py", "planner_tour.py", "explain_join.py",
+        "table1.py",
+    ])
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    def test_explain_join_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "explain_join.py")],
+            capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "Theorem 3 bound report" in proc.stdout
+        assert "gap 2.00" in proc.stdout
+
+    def test_table1_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "table1.py")],
+            capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1 of the paper" in proc.stdout
+        assert "yes (Thm 7)" in proc.stdout
+
+    def test_quickstart_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "algorithm         : algorithm-1" in proc.stdout
+        assert "join results      : 65536" in proc.stdout

@@ -1,0 +1,50 @@
+"""Tests for the witnessed Theorem 3 bound report."""
+
+import pytest
+
+from repro.analysis import explain_bound, gens_bound, lower_bound
+from repro.query import line_query
+from repro.workloads import (fig3_line3_instance, schemas_for,
+                             unbalanced_l5_instance)
+
+
+class TestExplainBound:
+    def test_matches_gens_bound(self):
+        schemas, data = fig3_line3_instance(16, 16)
+        q = line_query(3)
+        rep = explain_bound(q, data, schemas, 4, 2)
+        assert rep.gens_bound == pytest.approx(
+            gens_bound(q, data, schemas, 4, 2))
+        assert rep.lower == pytest.approx(
+            lower_bound(q, data, schemas, 4, 2))
+
+    def test_witness_on_fig3_is_e1_e3(self):
+        schemas, data = fig3_line3_instance(16, 16)
+        q = line_query(3)
+        rep = explain_bound(q, data, schemas, 4, 2)
+        assert rep.best.worst_subset == frozenset({"e1", "e3"})
+        assert rep.gap == pytest.approx(1.0)
+
+    def test_unbalanced_l5_gap_exceeds_one(self):
+        # The Section 6.3 phenomenon, visible in the bound pair: on an
+        # unbalanced instance Algorithm 2's Theorem 3 budget strictly
+        # exceeds the psi lower bound.
+        schemas, data = unbalanced_l5_instance(1, 8, 2, 2, 8, 1)
+        q = line_query(5)
+        rep = explain_bound(q, data, schemas, 4, 2)
+        assert rep.gap > 1.5
+        assert rep.best.worst_subset  # a concrete witness exists
+
+    def test_render_marks_best_branch(self):
+        schemas, data = fig3_line3_instance(8, 8)
+        q = line_query(3)
+        text = explain_bound(q, data, schemas, 4, 2).render()
+        assert "psi lower bound" in text
+        assert " * branch" in text
+
+    def test_branch_count_matches_gens(self):
+        from repro.query import gens_all
+        schemas, data = fig3_line3_instance(8, 8)
+        q = line_query(3)
+        rep = explain_bound(q, data, schemas, 4, 2)
+        assert len(rep.branches) == len(gens_all(q))

@@ -1,0 +1,139 @@
+"""Tests for the internal-memory baselines (Table 1's left column)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.internal import (build_value_index, canonical, generic_join,
+                            hash_join, join_count, join_query,
+                            project_assignments, sort_merge_join,
+                            yannakakis, yannakakis_with_stats)
+from repro.query import agm_bound, line_query, star_query, triangle_query
+from repro.query.reduce import full_reduce
+from repro.workloads import schemas_for
+
+from conftest import make_random_data
+
+
+class TestHashJoin:
+    def test_join_on_shared_attr(self):
+        out, schema = hash_join([(1, 2), (3, 4)], ("a", "b"),
+                                [(2, 9), (2, 8)], ("b", "c"))
+        assert schema == ("a", "b", "c")
+        assert sorted(out) == [(1, 2, 8), (1, 2, 9)]
+
+    def test_cross_product_when_disjoint(self):
+        out, schema = hash_join([(1,)], ("a",), [(2,), (3,)], ("b",))
+        assert sorted(out) == [(1, 2), (1, 3)]
+        assert schema == ("a", "b")
+
+    def test_multi_shared_attrs(self):
+        out, _ = hash_join([(1, 2, 5)], ("a", "b", "c"),
+                           [(1, 2, 7)], ("a", "b", "d"))
+        assert out == [(1, 2, 5, 7)]
+
+    def test_canonical_and_projection(self):
+        a = canonical((1, 2), ("y", "x"))
+        assert a == (("x", 2), ("y", 1))
+        assert project_assignments({a}, {"x"}) == {(("x", 2),)}
+
+
+class TestJoinQuery:
+    def test_empty_edge_set(self):
+        from repro.query import JoinQuery
+        assert join_query(JoinQuery(edges={}), {}, {}) == {()}
+
+    def test_count_on_known_instance(self):
+        q = line_query(2)
+        schemas = schemas_for(q)
+        data = {"e1": [(i, 0) for i in range(5)],
+                "e2": [(0, j) for j in range(7)]}
+        assert join_count(q, data, schemas) == 35
+
+
+class TestSortMergeJoin:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_agrees_with_hash_join(self, seed):
+        q = line_query(2)
+        schemas, data = make_random_data(q, 25, 5, seed)
+        hj, hs = hash_join(data["e1"], schemas["e1"], data["e2"],
+                           schemas["e2"])
+        sm, ss = sort_merge_join(data["e1"], schemas["e1"], data["e2"],
+                                 schemas["e2"], "v2")
+        assert {canonical(t, hs) for t in hj} \
+            == {canonical(t, ss) for t in sm}
+
+
+class TestGenericJoin:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.sampled_from([2, 3, 4]))
+    def test_agrees_with_pairwise_on_lines(self, seed, n):
+        q = line_query(n)
+        schemas, data = make_random_data(q, 15, 4, seed)
+        assert generic_join(q, data, schemas) \
+            == join_query(q, data, schemas)
+
+    def test_works_on_cyclic_queries_too(self):
+        q = triangle_query()
+        schemas = {"e1": ("v1", "v2"), "e2": ("v1", "v3"),
+                   "e3": ("v2", "v3")}
+        data = {"e1": [(0, 0), (0, 1), (1, 1)],
+                "e2": [(0, 0), (1, 1)],
+                "e3": [(0, 0), (1, 1)]}
+        out = generic_join(q, data, schemas)
+        assert (("v1", 0), ("v2", 0), ("v3", 0)) in out
+        assert (("v1", 1), ("v2", 1), ("v3", 1)) in out
+        assert len(out) == 2
+
+    def test_respects_custom_attribute_order(self):
+        q = line_query(3)
+        schemas, data = make_random_data(q, 10, 3, seed=1)
+        base = generic_join(q, data, schemas)
+        for order in itertools.islice(
+                itertools.permutations(sorted(q.attributes)), 5):
+            assert generic_join(q, data, schemas, order) == base
+
+    def test_bad_attribute_order_rejected(self):
+        import pytest
+        q = line_query(2)
+        schemas, data = make_random_data(q, 5, 3, seed=0)
+        with pytest.raises(ValueError):
+            generic_join(q, data, schemas, ["v1"])
+
+    def test_output_never_exceeds_agm(self):
+        # Worst-case optimality sanity: |Q(R)| <= AGM bound.
+        for seed in range(5):
+            q = line_query(3)
+            schemas, data = make_random_data(q, 20, 4, seed)
+            sized = q.with_sizes({e: len(data[e]) for e in data})
+            assert len(generic_join(q, data, schemas)) \
+                <= agm_bound(sized) + 1e-9
+
+    def test_build_value_index(self):
+        idx = build_value_index([(1, 2), (1, 3), (2, 4)], 0)
+        assert idx[1] == [(1, 2), (1, 3)]
+        assert idx[2] == [(2, 4)]
+
+
+class TestYannakakis:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6),
+           st.sampled_from(["line3", "line5", "star3"]))
+    def test_agrees_with_oracle(self, seed, shape):
+        q = {"line3": line_query(3), "line5": line_query(5),
+             "star3": star_query(3)}[shape]
+        schemas, data = make_random_data(q, 12, 4, seed)
+        assert yannakakis(q, data, schemas) == join_query(q, data, schemas)
+
+    def test_intermediates_bounded_by_output_on_reduced(self):
+        # The instance-optimality mechanism: on a fully reduced acyclic
+        # instance no intermediate exceeds the output size.
+        for seed in range(8):
+            q = line_query(4)
+            schemas, data = make_random_data(q, 20, 4, seed)
+            reduced = full_reduce(q, data, schemas)
+            results, stats = yannakakis_with_stats(q, reduced, schemas)
+            if results:
+                assert stats["max_intermediate"] <= stats["output"]

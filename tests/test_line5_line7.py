@@ -1,0 +1,167 @@
+"""Tests for Algorithms 4-5 and the L6/L8 reductions (Section 6.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Device, Instance
+from repro.core import (AssignmentEmitter, CountingEmitter,
+                        acyclic_join_best, line5_unbalanced_join,
+                        line6_unbalanced_join, line7_cover11_join,
+                        line7_unbalanced_join, line8_join, line_join_auto)
+from repro.internal import join_query
+from repro.query import line_query, star_query
+from repro.query.lines import is_balanced
+from repro.workloads import (l5_for_regime, schemas_for,
+                             unbalanced_l5_instance)
+
+from conftest import make_random_data, run_and_compare
+
+
+class TestAlgorithm4:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_correct_on_random_l5(self, seed):
+        q = line_query(5)
+        schemas, data = make_random_data(q, 15, 4, seed)
+        run_and_compare(q, schemas, data, line5_unbalanced_join, M=8, B=2)
+
+    def test_correct_on_unbalanced_construction(self):
+        q, schemas, data = l5_for_regime(6, balanced=False)[0:3]
+        sizes = [len(data[f"e{i}"]) for i in range(1, 6)]
+        assert not is_balanced(sizes)
+        run_and_compare(q, schemas, data, line5_unbalanced_join, M=4, B=2)
+
+    def test_correct_with_skew(self):
+        from repro.workloads import skewed_instance
+        q = line_query(5)
+        schemas, data = skewed_instance(q, 30, 6, hot_fraction=0.6,
+                                        hot_values=1, seed=11)
+        run_and_compare(q, schemas, data, line5_unbalanced_join, M=4, B=2)
+
+    def test_rejects_non_l5(self, small_device):
+        q = star_query(3)
+        schemas, data = make_random_data(q, 5, 3, seed=0)
+        inst = Instance.from_dicts(small_device, schemas, data)
+        with pytest.raises(ValueError):
+            line5_unbalanced_join(q, inst, CountingEmitter())
+
+    def test_beats_algorithm2_on_unbalanced_family(self):
+        # The reason Algorithm 4 exists: when N1 N3 N5 < N2 N4,
+        # Algorithm 2's best branch pays more.
+        q, schemas, data = l5_for_regime(24, balanced=False)
+        M, B = 4, 2
+        dev4 = Device(M=M, B=B)
+        inst4 = Instance.from_dicts(dev4, schemas, data)
+        line5_unbalanced_join(q, inst4, CountingEmitter())
+
+        dev2 = Device(M=M, B=B)
+        inst2 = Instance.from_dicts(dev2, schemas, data)
+        best = acyclic_join_best(q, inst2)
+        assert dev4.stats.total < best.io
+
+
+class TestL6Reduction:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_correct_on_random_l6(self, seed):
+        q = line_query(6)
+        schemas, data = make_random_data(q, 12, 4, seed)
+        run_and_compare(q, schemas, data, line6_unbalanced_join, M=8, B=2)
+
+    def test_mirrored_orientation(self):
+        # Make the *last* five relations the unbalanced part so the
+        # outer relation is e1.
+        schemas, data = unbalanced_l5_instance(1, 8, 2, 2, 8, 1)
+        # shift to e2..e6 and add a fresh e1 on the left
+        shifted_schemas = {"e1": ("v1", "v2")}
+        shifted_data = {"e1": [(i, j) for i in range(3)
+                               for j in range(1)]}
+        for i in range(1, 6):
+            shifted_schemas[f"e{i + 1}"] = (f"v{i + 1}", f"v{i + 2}")
+            shifted_data[f"e{i + 1}"] = [
+                (a, b) for (a, b) in data[f"e{i}"]]
+        q = line_query(6)
+        run_and_compare(q, shifted_schemas, shifted_data,
+                        line6_unbalanced_join, M=4, B=2)
+
+
+class TestAlgorithm5:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_correct_on_random_l7(self, seed):
+        q = line_query(7)
+        schemas, data = make_random_data(q, 10, 3, seed)
+        run_and_compare(q, schemas, data, line7_unbalanced_join, M=8, B=2)
+
+    def test_emits_all_seven_tuples(self):
+        # Emit-model exactness: the S rows must split back into the
+        # three participating middle tuples.
+        q = line_query(7)
+        schemas, data = make_random_data(q, 8, 3, seed=42)
+        device = Device(M=8, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        results = []
+
+        class Grab:
+            def emit(self, r):
+                results.append(dict(r))
+
+        line7_unbalanced_join(q, inst, Grab())
+        for r in results:
+            assert set(r) == {f"e{i}" for i in range(1, 8)}
+            for e, t in r.items():
+                assert tuple(t) in set(data[e])
+
+
+class TestL7Cover11AndL8:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_cover11_correct(self, seed):
+        q = line_query(7)
+        schemas, data = make_random_data(q, 8, 3, seed)
+        run_and_compare(q, schemas, data, line7_cover11_join, M=8, B=2)
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_l8_correct(self, seed):
+        q = line_query(8)
+        schemas, data = make_random_data(q, 8, 3, seed)
+        run_and_compare(q, schemas, data, line8_join, M=8, B=2)
+
+
+class TestLineAutoDispatch:
+    def test_labels_by_regime(self):
+        cases = [
+            (line_query(3), make_random_data(line_query(3), 10, 3, 1)[1],
+             "algorithm-1"),
+        ]
+        for q, data, want in cases:
+            schemas = schemas_for(q)
+            device = Device(M=8, B=2)
+            inst = Instance.from_dicts(device, schemas, data)
+            label = line_join_auto(q, inst, CountingEmitter())
+            assert label == want
+
+    def test_unbalanced_l5_label(self):
+        q, schemas, data = l5_for_regime(8, balanced=False)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        label = line_join_auto(q, inst, CountingEmitter())
+        assert label == "algorithm-4"
+
+    def test_balanced_l5_label(self):
+        q, schemas, data = l5_for_regime(4, balanced=True)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        label = line_join_auto(q, inst, CountingEmitter())
+        assert label == "algorithm-2-best-branch"
+
+    def test_dispatch_correctness_across_n(self):
+        for n in range(2, 9):
+            q = line_query(n)
+            schemas, data = make_random_data(q, 8, 3, seed=n)
+            run_and_compare(
+                q, schemas, data,
+                lambda qq, ii, ee: line_join_auto(qq, ii, ee),
+                M=8, B=2)

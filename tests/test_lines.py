@@ -1,0 +1,155 @@
+"""Tests for line-join theory (Section 6.1-6.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.lines import (alternating_intervals, balanced_split,
+                               balanced_violations, classify_line,
+                               independent_subsets, is_alternating,
+                               is_balanced, line_bound, line_cover)
+
+sizes_strategy = st.lists(st.integers(2, 500), min_size=1, max_size=9)
+
+
+class TestLineCover:
+    @settings(max_examples=100, deadline=None)
+    @given(sizes_strategy)
+    def test_characterization_rules(self, sizes):
+        """Section 6.1's four rules for the optimal cover."""
+        x = line_cover(sizes)
+        n = len(sizes)
+        assert x[0] == 1 and x[-1] == 1                      # rule 1
+        assert all(x[i] + x[i + 1] >= 1 for i in range(n - 1))  # rule 2
+        # rule 3: our DP never needs three consecutive 1's since
+        # dropping the middle one stays feasible and is never worse.
+        cost = sum(math.log(s) for s, xi in zip(sizes, x) if xi)
+        for i in range(n - 2):
+            if x[i] == x[i + 1] == x[i + 2] == 1:
+                alt = list(x)
+                alt[i + 1] = 0
+                alt_cost = sum(math.log(s)
+                               for s, xi in zip(sizes, alt) if xi)
+                assert cost <= alt_cost + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(sizes_strategy)
+    def test_cover_is_optimal_vs_brute_force(self, sizes):
+        x = line_cover(sizes)
+        n = len(sizes)
+
+        def cost(xs):
+            return math.prod(s for s, xi in zip(sizes, xs) if xi)
+
+        best = None
+        for mask in range(1 << n):
+            xs = [(mask >> i) & 1 for i in range(n)]
+            if xs[0] and xs[-1] and all(xs[i] + xs[i + 1] >= 1
+                                        for i in range(n - 1)):
+                c = cost(xs)
+                best = c if best is None else min(best, c)
+        assert cost(x) == best
+
+    def test_known_covers(self):
+        assert line_cover([10, 10, 10]) == (1, 0, 1)
+        assert line_cover([10, 2, 9, 10]) in ((1, 1, 0, 1), (1, 0, 1, 1))
+        # n=4: paper says (1,0,1,1) or (1,1,0,1); avoid the huge middle.
+        assert line_cover([5, 100, 2, 5]) == (1, 0, 1, 1)
+        assert line_cover([5, 2, 100, 5]) == (1, 1, 0, 1)
+
+
+class TestAlternatingIntervals:
+    def test_single_interval(self):
+        assert alternating_intervals((1, 0, 1, 0, 1)) == [(0, 4)]
+        assert is_alternating((1, 0, 1))
+
+    def test_two_intervals(self):
+        assert alternating_intervals((1, 0, 1, 1, 0, 1)) == [(0, 2), (3, 5)]
+        assert not is_alternating((1, 1))
+
+    def test_invalid_cover_rejected(self):
+        with pytest.raises(ValueError):
+            alternating_intervals((0, 1))
+
+    def test_singleton(self):
+        assert alternating_intervals((1,)) == [(0, 0)]
+
+
+class TestBalanced:
+    def test_l3_always_balanced(self):
+        # Any window of even length ≤ 2 means N_i N_{i+2} >= N_{i+1}
+        # must hold; with equal sizes it always does.
+        assert is_balanced([7, 7, 7])
+        assert is_balanced([100, 5, 100])
+
+    def test_l3_can_be_unbalanced_before_reduction(self):
+        # The paper notes L3 is balanced *after dangling removal*; raw
+        # sizes can violate N1*N3 >= N2.
+        assert not is_balanced([2, 100, 2])
+
+    def test_l5_condition(self):
+        # Balanced iff N1 N3 N5 >= N2 N4 (plus the sub-windows).
+        assert is_balanced([10, 10, 10, 10, 10])
+        assert not is_balanced([10, 40, 2, 40, 10])
+        assert balanced_violations([10, 40, 2, 40, 10]) != []
+
+    def test_violations_name_the_window(self):
+        v = balanced_violations([2, 100, 2])
+        assert v == [(1, 3)]
+
+    def test_balanced_split_even(self):
+        assert balanced_split([5, 5, 5, 5]) is not None
+        with pytest.raises(ValueError):
+            balanced_split([5, 5, 5])
+
+    def test_balanced_split_returns_odd_k(self):
+        k = balanced_split([10, 10, 10, 10, 10, 10])
+        assert k is not None and k % 2 == 1
+
+
+class TestIndependentSubsets:
+    def test_count_is_fibonacci(self):
+        # Independent subsets of a path of n edges: F(n+2).
+        fib = [1, 1]
+        while len(fib) < 12:
+            fib.append(fib[-1] + fib[-2])
+        for n in range(1, 9):
+            assert len(list(independent_subsets(n))) == fib[n + 1]
+
+    def test_no_two_consecutive(self):
+        for s in independent_subsets(6):
+            idxs = sorted(int(e[1:]) for e in s)
+            assert all(b - a >= 2 for a, b in zip(idxs, idxs[1:]))
+
+    def test_line_bound_l3(self):
+        # max over {e1,e3}: N1*N3/(M B).
+        assert line_bound([10, 10, 10], M=4, B=2) == pytest.approx(
+            100 / (4 * 2))
+
+    def test_line_bound_l5_terms(self):
+        # Section 4.2's L5 bound: N1N3N5/M²B dominates for equal sizes.
+        b = line_bound([10] * 5, M=2, B=1)
+        assert b == pytest.approx(1000 / 4)
+
+    def test_line_bound_theorem6_pair(self):
+        # allowing e_k, e_{k+1} together adds the split-pair subsets.
+        plain = line_bound([10, 10, 10, 10], M=2, B=1)
+        with_pair = line_bound([10, 10, 10, 10], M=2, B=1,
+                               allow_adjacent_pair=1)
+        assert with_pair >= plain
+
+
+class TestClassifyLine:
+    def test_regimes(self):
+        assert classify_line([5, 5, 5]).regime == "balanced-odd"
+        assert classify_line([5, 5, 5, 5]).regime == "balanced-even"
+        assert classify_line([10, 40, 2, 40, 10]).regime == "unbalanced-5"
+        assert classify_line(
+            [2, 2, 10, 40, 2, 40, 10, 2, 2]).regime == "unbalanced-open"
+
+    def test_l7_unbalanced(self):
+        sizes = [10, 10, 10, 1000, 2, 1000, 10]
+        cls = classify_line(sizes)
+        assert cls.regime in ("unbalanced-7", "balanced-odd")

@@ -1,0 +1,131 @@
+"""Tests for the Loomis–Whitney grid join (Table 1's LW_n row)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Device, Instance
+from repro.core import AssignmentEmitter, CountingEmitter
+from repro.core.lw import detect_lw, lw_join, lw_query
+from repro.internal import generic_join
+from repro.query import line_query, triangle_query
+
+
+def random_lw_data(n, n_rows, domain, seed):
+    rng = random.Random(seed)
+    q = lw_query(n)
+    schemas = {e: tuple(sorted(q.edges[e])) for e in q.edges}
+    data = {}
+    for e, attrs in schemas.items():
+        rows = set()
+        guard = 0
+        while len(rows) < n_rows and guard < n_rows * 60:
+            rows.add(tuple(rng.randrange(domain) for _ in attrs))
+            guard += 1
+        data[e] = sorted(rows)
+    return q, schemas, data
+
+
+class TestDetect:
+    def test_lw3_is_a_triangle(self):
+        assert detect_lw(triangle_query()) is not None
+        assert detect_lw(lw_query(3)) is not None
+
+    def test_lw4_structure(self):
+        q = lw_query(4)
+        attrs, omitted = detect_lw(q)
+        assert attrs == ["v1", "v2", "v3", "v4"]
+        assert omitted["e2"] == "v2"
+        assert all(len(q.edges[e]) == 3 for e in q.edges)
+
+    def test_rejects_lines(self):
+        assert detect_lw(line_query(3)) is None
+        assert detect_lw(line_query(4)) is None
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            lw_query(2)
+        with pytest.raises(ValueError):
+            lw_query(3, [1, 2])
+
+    def test_join_rejects_non_lw(self):
+        q = line_query(3)
+        device = Device(M=8, B=2)
+        inst = Instance.from_dicts(
+            device, {"e1": ("v1", "v2"), "e2": ("v2", "v3"),
+                     "e3": ("v3", "v4")},
+            {"e1": [(1, 2)], "e2": [(2, 3)], "e3": [(3, 4)]})
+        with pytest.raises(ValueError):
+            lw_join(q, inst, CountingEmitter())
+
+
+class TestCorrectness:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 3))
+    def test_lw3_matches_generic_join(self, seed, p):
+        q, schemas, data = random_lw_data(3, 30, 6, seed)
+        device = Device(M=16, B=4)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        lw_join(q, inst, em, partitions=p)
+        want = generic_join(q, data, schemas)
+        assert em.assignment_set() == want
+        assert em.count == len(want)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_lw4_matches_generic_join(self, seed):
+        q, schemas, data = random_lw_data(4, 25, 4, seed)
+        device = Device(M=16, B=4)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        lw_join(q, inst, em)
+        want = generic_join(q, data, schemas)
+        assert em.assignment_set() == want
+        assert em.count == len(want)
+
+    def test_skewed_cell_fallback(self):
+        # One hot value on every attribute overflows its cell.
+        q = lw_query(3)
+        schemas = {e: tuple(sorted(q.edges[e])) for e in q.edges}
+        rows = ([(0, i) for i in range(30)] + [(i, 0)
+                                               for i in range(1, 20)])
+        data = {e: sorted(set(rows)) for e in schemas}
+        device = Device(M=8, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = AssignmentEmitter(schemas)
+        lw_join(q, inst, em)
+        want = generic_join(q, data, schemas)
+        assert em.assignment_set() == want
+
+    def test_empty_relation(self):
+        q = lw_query(3)
+        schemas = {e: tuple(sorted(q.edges[e])) for e in q.edges}
+        data = {"e1": [], "e2": [(0, 0)], "e3": [(0, 0)]}
+        device = Device(M=8, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        em = CountingEmitter()
+        lw_join(q, inst, em)
+        assert em.count == 0
+
+
+class TestCostShape:
+    def test_lw3_io_grows_subquadratically(self):
+        import math
+        ios = []
+        ns = (8, 16)
+        for k in ns:
+            rows = [(i, j) for i in range(k) for j in range(k)]
+            q = lw_query(3)
+            schemas = {e: tuple(sorted(q.edges[e])) for e in q.edges}
+            data = {e: rows for e in schemas}
+            device = Device(M=32, B=4)
+            inst = Instance.from_dicts(device, schemas, data)
+            lw_join(q, inst, CountingEmitter())
+            ios.append(device.stats.total)
+        n_growth = (ns[1] / ns[0]) ** 2      # N quadruples
+        exponent = math.log(ios[1] / ios[0]) / math.log(n_growth)
+        # LW_3's exponent is 3/2; nested-loop cascades would be >= 2.
+        assert 1.0 <= exponent < 2.0

@@ -1,0 +1,34 @@
+"""Small targeted tests for otherwise-uncovered helpers."""
+
+import pytest
+
+from repro.analysis import (line5_unbalanced_bound, line7_cover11_bound,
+                            yannakakis_em_bound)
+from repro.query import fractional_edge_cover, line_query
+from repro.workloads.worstcase import scaled
+
+
+class TestBoundHelpers:
+    def test_line7_cover11_bound_composition(self):
+        sizes = [10, 10, 10, 10, 10, 10, 10]
+        b = line7_cover11_bound(sizes, 4, 2)
+        mid = line5_unbalanced_bound(sizes[1:6], 4, 2)
+        assert b == pytest.approx((10 / 4) * (10 / 4) * mid
+                                  + sum(sizes) / 2)
+
+    def test_yannakakis_bound(self):
+        assert yannakakis_em_bound(1000, 100, 8, 2) \
+            == pytest.approx(1000 / 2 + 100 / 2)
+
+
+class TestCoverHelpers:
+    def test_support(self):
+        cover = fractional_edge_cover(line_query(3, [10, 10, 10]))
+        assert cover.support() == frozenset({"e1", "e3"})
+
+
+class TestScaled:
+    def test_floors_and_clamps(self):
+        assert scaled(3.9) == 3
+        assert scaled(0.2) == 1
+        assert scaled(-5) == 1

@@ -1,0 +1,91 @@
+"""Tests for the query text syntax."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import line_query, star_query
+from repro.query.parse import (QueryParseError, format_query,
+                               parse_query, parse_schemas)
+
+
+class TestParseQuery:
+    def test_basic_line(self):
+        q = parse_query("e1(v1, v2), e2(v2, v3), e3(v3, v4)")
+        assert q.structure_key() == line_query(3).structure_key()
+        assert q.sizes is None
+
+    def test_bowtie_separator(self):
+        q = parse_query("R(a,b) ⋈ S(b,c) ⋈ T(c,d)")
+        assert set(q.edges) == {"R", "S", "T"}
+        assert q.edges["S"] == frozenset({"b", "c"})
+
+    def test_ascii_separator(self):
+        q = parse_query("R(a,b) |x| S(b,c)")
+        assert set(q.edges) == {"R", "S"}
+
+    def test_sizes(self):
+        q = parse_query("e1(v1,v2)[100], e2(v2,v3)[50]")
+        assert q.size("e1") == 100 and q.size("e2") == 50
+
+    def test_partial_sizes_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("e1(a,b)[10], e2(b,c)")
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "e1", "e1()", "e1(a,a)", "e1(a,b) e2(b,c)",
+        "e1(a,b),", "e1(a,b), e1(b,c)", "e1(a, 2b)", "e1(a,b)[x]",
+    ])
+    def test_bad_syntax_rejected(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_single_relation(self):
+        q = parse_query("solo(x, y, z)")
+        assert q.edges["solo"] == frozenset({"x", "y", "z"})
+
+
+class TestParseSchemas:
+    def test_preserves_written_order(self):
+        layouts = parse_schemas("e1(v2, v1), e2(v2, v3)")
+        assert layouts["e1"] == ("v2", "v1")
+
+    def test_matches_query_atoms(self):
+        text = "fact(c,p,s), cust(c,n)"
+        q = parse_query(text)
+        layouts = parse_schemas(text)
+        assert set(layouts) == set(q.edges)
+        for e, attrs in layouts.items():
+            assert frozenset(attrs) == q.edges[e]
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 7), st.booleans())
+    def test_lines_round_trip(self, n, with_sizes):
+        q = line_query(n, list(range(10, 10 + n)) if with_sizes else None)
+        back = parse_query(format_query(q))
+        assert back.structure_key() == q.structure_key()
+        if with_sizes:
+            assert dict(back.sizes) == dict(q.sizes)
+
+    def test_star_round_trip(self):
+        q = star_query(4)
+        assert (parse_query(format_query(q)).structure_key()
+                == q.structure_key())
+
+    def test_end_to_end_with_planner(self):
+        from repro import Device, Instance
+        from repro.core import CountingEmitter, execute
+
+        text = "e1(v1, v2), e2(v2, v3)"
+        q = parse_query(text)
+        layouts = parse_schemas(text)
+        device = Device(M=8, B=2)
+        inst = Instance.from_dicts(device, layouts, {
+            "e1": [(i, i % 3) for i in range(9)],
+            "e2": [(i % 3, i) for i in range(9)],
+        })
+        em = CountingEmitter()
+        execute(q, inst, em)
+        assert em.count == 27

@@ -1,0 +1,66 @@
+"""Tests for per-phase I/O attribution."""
+
+from repro import Device, Instance
+from repro.core import CountingEmitter, acyclic_join
+from repro.core.triangle import triangle_join
+from repro.em import PhaseTracker
+from repro.query import line_query, triangle_query
+
+
+class TestPhaseTracker:
+    def test_exclusive_attribution_when_nested(self, small_device):
+        tracker = small_device.phases
+        with tracker.phase("outer"):
+            small_device.file_from_tuples([(i,) for i in range(8)])  # 2 w
+            with tracker.phase("inner"):
+                small_device.file_from_tuples([(i,) for i in range(16)])
+        assert tracker.totals["inner"] == 4
+        assert tracker.totals["outer"] == 2
+
+    def test_report_includes_remainder(self, small_device):
+        with small_device.phases.phase("a"):
+            small_device.file_from_tuples([(1,)])
+        small_device.file_from_tuples([(2,)])
+        rep = small_device.phases.report()
+        assert rep["a"] == 1
+        assert rep["(unattributed)"] == 1
+        assert sum(rep.values()) == small_device.stats.total
+
+    def test_repeated_phases_accumulate(self, small_device):
+        for _ in range(3):
+            with small_device.phases.phase("w"):
+                small_device.file_from_tuples([(1,)])
+        assert small_device.phases.totals["w"] == 3
+
+    def test_reset(self, small_device):
+        with small_device.phases.phase("x"):
+            small_device.file_from_tuples([(1,)])
+        small_device.reset_stats()
+        assert small_device.phases.totals == {}
+        assert small_device.stats.total == 0
+
+
+class TestInstrumentation:
+    def test_acyclic_join_attributes_sorts_and_semijoins(self):
+        device = Device(M=8, B=2)
+        inst = Instance.from_dicts(
+            device,
+            {"e1": ("v1", "v2"), "e2": ("v2", "v3"), "e3": ("v3", "v4")},
+            {"e1": [(i, i % 3) for i in range(20)],
+             "e2": [(i % 3, i % 4) for i in range(10)],
+             "e3": [(i % 4, i) for i in range(20)]})
+        acyclic_join(line_query(3), inst, CountingEmitter())
+        rep = device.phases.report()
+        assert rep.get("sort", 0) > 0
+        assert sum(rep.values()) == device.stats.total
+
+    def test_triangle_attributes_partitioning(self):
+        rows = [(i, j) for i in range(6) for j in range(6)]
+        device = Device(M=16, B=4)
+        inst = Instance.from_dicts(
+            device,
+            {"e1": ("v1", "v2"), "e2": ("v1", "v3"), "e3": ("v2", "v3")},
+            {"e1": rows, "e2": rows, "e3": rows})
+        triangle_join(triangle_query(), inst, CountingEmitter())
+        rep = device.phases.report()
+        assert rep.get("partition", 0) > 0

@@ -1,0 +1,102 @@
+"""Tests for the planner — the library's public entry point."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Device, Instance
+from repro.core import AssignmentEmitter, CountingEmitter, execute
+from repro.internal import join_query
+from repro.query import (dumbbell_query, line_query, lollipop_query,
+                         star_query, triangle_query)
+from repro.workloads import schemas_for
+
+from conftest import make_random_data
+
+
+def plan_run(q, schemas, data, *, M=8, B=2, **kw):
+    device = Device(M=M, B=B)
+    inst = Instance.from_dicts(device, schemas, data)
+    em = AssignmentEmitter(schemas)
+    report = execute(q, inst, em, **kw)
+    return device, em, report
+
+
+class TestDispatch:
+    def test_labels_per_shape(self):
+        cases = [
+            (line_query(1), "scan"),
+            (line_query(2), "two-way-sort-merge"),
+            (line_query(3), "algorithm-1"),
+            (star_query(3), "algorithm-2-best-branch[star]"),
+            (lollipop_query(3), "algorithm-2-best-branch[lollipop]"),
+            (dumbbell_query(3, 6), "algorithm-2-best-branch[dumbbell]"),
+        ]
+        for q, want in cases:
+            schemas, data = make_random_data(q, 10, 3, seed=1)
+            _, _, report = plan_run(q, schemas, data)
+            assert report.algorithm == want
+
+    def test_cyclic_rejected(self):
+        q = triangle_query()
+        schemas, data = make_random_data(q, 5, 3, seed=0)
+        with pytest.raises(Exception):
+            plan_run(q, schemas, data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6),
+           st.sampled_from(["L3", "L4", "L6", "star3", "lollipop3",
+                            "dumbbell"]))
+    def test_correct_everywhere(self, seed, name):
+        q = {"L3": line_query(3), "L4": line_query(4),
+             "L6": line_query(6), "star3": star_query(3),
+             "lollipop3": lollipop_query(3),
+             "dumbbell": dumbbell_query(3, 6)}[name]
+        schemas, data = make_random_data(q, 10, 4, seed)
+        _, em, _ = plan_run(q, schemas, data)
+        oracle = join_query(q, data, schemas)
+        assert em.assignment_set() == oracle
+        assert em.count == len(oracle)
+
+
+class TestReduction:
+    def test_dangling_tuples_handled(self):
+        q = line_query(3)
+        schemas = schemas_for(q)
+        data = {"e1": [(1, 2), (9, 99)], "e2": [(2, 3)],
+                "e3": [(3, 4), (88, 8)]}
+        _, em, report = plan_run(q, schemas, data)
+        assert em.count == 1
+        assert report.reduce_reads + report.reduce_writes > 0
+
+    def test_reduce_can_be_skipped(self):
+        q = line_query(2)
+        schemas = schemas_for(q)
+        data = {"e1": [(1, 2)], "e2": [(2, 3)]}
+        _, em, report = plan_run(q, schemas, data, reduce_first=False)
+        assert report.reduce_reads == 0 and report.reduce_writes == 0
+        assert em.count == 1
+
+
+class TestReport:
+    def test_io_accounting_splits_reduce_and_join(self):
+        q = line_query(3)
+        schemas, data = make_random_data(q, 30, 4, seed=2)
+        device, _, report = plan_run(q, schemas, data)
+        assert report.total_io == device.stats.total
+        assert report.io == report.reads + report.writes
+        assert report.shape == "line"
+
+    def test_multi_device_instance_rejected(self):
+        q = line_query(2)
+        schemas, data = make_random_data(q, 5, 3, seed=0)
+        d1, d2 = Device(M=8, B=2), Device(M=8, B=2)
+        from repro.data import Relation, RelationSchema
+        inst = Instance({
+            "e1": Relation.from_tuples(d1, RelationSchema(
+                "e1", schemas["e1"]), data["e1"]),
+            "e2": Relation.from_tuples(d2, RelationSchema(
+                "e2", schemas["e2"]), data["e2"]),
+        })
+        with pytest.raises(ValueError):
+            execute(q, inst, CountingEmitter())

@@ -1,0 +1,110 @@
+"""Tests for query shape detection (the planner's dispatch input)."""
+
+import pytest
+
+from repro.query import (JoinQuery, dumbbell_query, line_query,
+                         lollipop_query, star_query, triangle_query)
+from repro.query.shapes import (classify_shape, detect_dumbbell,
+                                detect_line, detect_lollipop, detect_star)
+
+
+class TestDetectLine:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_detects_and_orders_lines(self, n):
+        chain = detect_line(line_query(n))
+        assert chain is not None
+        assert chain.edges == tuple(f"e{i}" for i in range(1, n + 1))
+        assert chain.join_attrs == tuple(f"v{i}" for i in range(2, n + 1))
+
+    def test_detects_renamed_line(self):
+        q = JoinQuery(edges={"left": frozenset({"a", "mid"}),
+                             "right": frozenset({"mid", "z"})})
+        chain = detect_line(q)
+        assert chain is not None
+        assert set(chain.edges) == {"left", "right"}
+        assert chain.join_attrs == ("mid",)
+
+    def test_rejects_non_lines(self):
+        assert detect_line(star_query(3)) is None
+        assert detect_line(triangle_query()) is None
+        assert detect_line(lollipop_query(3)) is None
+
+    def test_rejects_ternary_edges(self):
+        q = JoinQuery(edges={"e1": frozenset({"a", "b", "c"}),
+                             "e2": frozenset({"c", "d"})})
+        assert detect_line(q) is None
+
+
+class TestDetectStar:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_detects_stars(self, k):
+        info = detect_star(star_query(k))
+        assert info is not None
+        assert info.core == "e0"
+        assert set(info.petals) == {f"e{i}" for i in range(1, k + 1)}
+
+    def test_l3_is_reported_as_line_not_star(self):
+        # L3 is structurally both; the classifier prefers "line".
+        assert classify_shape(line_query(3)) == "line"
+
+    def test_rejects_lollipop(self):
+        assert detect_star(lollipop_query(3)) is None
+
+
+class TestDetectLollipopAndDumbbell:
+    def test_lollipop_parts(self):
+        info = detect_lollipop(lollipop_query(3))
+        assert info is not None
+        assert info.core == "e0"
+        assert info.stick == "e3"
+        assert info.tip == "e4"
+        assert set(info.petals) == {"e1", "e2"}
+
+    def test_dumbbell_parts(self):
+        info = detect_dumbbell(dumbbell_query(3, 6))
+        assert info is not None
+        assert {info.core1, info.core2} == {"e0", "e6"}
+        assert info.bar == "e3"
+
+    def test_rejects_each_other(self):
+        assert detect_lollipop(dumbbell_query(3, 6)) is None
+        assert detect_dumbbell(lollipop_query(3)) is None
+
+
+class TestClassifyShape:
+    def test_labels(self):
+        assert classify_shape(line_query(1)) == "single"
+        assert classify_shape(line_query(2)) == "two-relation"
+        assert classify_shape(line_query(6)) == "line"
+        assert classify_shape(star_query(4)) == "star"
+        assert classify_shape(lollipop_query(4)) == "lollipop"
+        # A dumbbell with a single real petal per side degenerates to a
+        # path — the classifier correctly prefers the line solvers.
+        assert classify_shape(dumbbell_query(2, 4)) == "line"
+        assert classify_shape(dumbbell_query(3, 6)) == "dumbbell"
+        assert classify_shape(triangle_query()) == "cyclic"
+        assert classify_shape(JoinQuery(edges={})) == "empty"
+
+    def test_general_acyclic_fallback(self):
+        # Two adjacent cores (no bar between them): none of the named
+        # families matches.
+        q = JoinQuery(edges={
+            "e1": frozenset({"a", "b"}),
+            "e2": frozenset({"b", "c", "d"}),
+            "e3": frozenset({"d", "e", "f"}),
+            "e4": frozenset({"c", "u4"}),
+            "e5": frozenset({"e", "u5"}),
+            "e6": frozenset({"f", "u6"}),
+        })
+        assert classify_shape(q) == "general-acyclic"
+
+    def test_path_with_hanging_core_is_a_star(self):
+        # A path whose middle edge also holds a third join attribute is
+        # structurally a standalone star (core = the ternary edge).
+        q = JoinQuery(edges={
+            "e1": frozenset({"v1", "v2"}),
+            "e2": frozenset({"v2", "v3", "w"}),
+            "e3": frozenset({"v3", "v4"}),
+            "e4": frozenset({"w", "u"}),
+        })
+        assert classify_shape(q) == "star"

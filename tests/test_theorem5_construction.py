@@ -1,0 +1,56 @@
+"""Tests for the Theorem 5 construction solver (feasibility from sizes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.internal import join_count
+from repro.query import line_query
+from repro.query.lines import is_balanced
+from repro.query.reduce import is_fully_reduced
+from repro.workloads import (balanced_line_sizes, theorem5_domains,
+                             theorem5_line_instance)
+
+
+class TestDomains:
+    def test_solves_equal_sizes(self):
+        z = theorem5_domains([6, 6, 6])
+        assert z is not None
+        assert balanced_line_sizes(z) == [6, 6, 6]
+
+    def test_validates_explicit_z1(self):
+        assert theorem5_domains([6, 6, 6], z1=1) is not None
+        assert theorem5_domains([6, 6, 6], z1=4) is None  # 6 % 4 != 0
+
+    def test_unbalanced_l5_is_infeasible(self):
+        sizes = [4, 16, 2, 16, 4]
+        assert not is_balanced(sizes)
+        assert theorem5_domains(sizes) is None
+
+    def test_empty(self):
+        assert theorem5_domains([]) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 6), min_size=3, max_size=7))
+    def test_roundtrip_from_domains(self, z):
+        """Any domain chain's sizes are feasible and solvable again."""
+        sizes = balanced_line_sizes(z)
+        solved = theorem5_domains(sizes)
+        assert solved is not None
+        assert balanced_line_sizes(solved) == sizes
+
+
+class TestInstance:
+    def test_builds_worst_case(self):
+        sizes = [6, 6, 6]
+        schemas, data = theorem5_line_instance(sizes)
+        q = line_query(3)
+        assert [len(data[f"e{i}"]) for i in (1, 2, 3)] == sizes
+        assert is_fully_reduced(q, data, schemas)
+        # Partial join on the alternating cover attains N1·N3.
+        from repro.analysis import partial_join_size
+        assert partial_join_size(q, data, schemas, {"e1", "e3"}) == 36
+
+    def test_infeasible_raises_with_pointer_to_6_3(self):
+        with pytest.raises(ValueError, match="6.3"):
+            theorem5_line_instance([4, 16, 2, 16, 4])

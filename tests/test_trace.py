@@ -1,0 +1,59 @@
+"""Tests for the Algorithm 2 recursion tracer."""
+
+from repro import Device, Instance
+from repro.core import CountingEmitter, acyclic_join
+from repro.core.trace import RecursionTrace
+from repro.query import line_query, star_query
+from repro.workloads import schemas_for
+
+from conftest import make_random_data
+
+
+class TestRecursionTrace:
+    def test_records_leaf_peels_with_split(self):
+        q = line_query(3)
+        schemas = schemas_for(q)
+        # one heavy value (20 >= M=4) and some light ones in e1 on v2
+        data = {"e1": [(i, 0) for i in range(20)] + [(i, 1 + i % 3)
+                                                     for i in range(6)],
+                "e2": [(j % 4, j) for j in range(8)],
+                "e3": [(j, j % 3) for j in range(8)]}
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        trace = RecursionTrace()
+        acyclic_join(q, inst, CountingEmitter(), trace=trace)
+        leafs = [e for e in trace.events if e.action == "leaf"]
+        assert leafs
+        assert "heavy=1" in leafs[0].detail
+        assert trace.max_depth() >= 1
+        assert trace.counts()["leaf"] >= 1
+
+    def test_star_trace_shows_bud_or_islands_downstream(self):
+        q = star_query(2)
+        schemas, data = make_random_data(q, 12, 3, seed=1)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        trace = RecursionTrace()
+        acyclic_join(q, inst, CountingEmitter(), trace=trace)
+        actions = set(trace.counts())
+        assert "leaf" in actions
+        assert "scan" in actions  # base case reached
+
+    def test_render_is_indented_and_limited(self):
+        q = line_query(2)
+        schemas, data = make_random_data(q, 8, 3, seed=0)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        trace = RecursionTrace()
+        acyclic_join(q, inst, CountingEmitter(), trace=trace)
+        text = trace.render(limit=3)
+        assert text.splitlines()
+        if len(trace.events) > 3:
+            assert "more events" in text
+
+    def test_no_trace_is_default(self):
+        q = line_query(2)
+        schemas, data = make_random_data(q, 5, 3, seed=0)
+        device = Device(M=4, B=2)
+        inst = Instance.from_dicts(device, schemas, data)
+        acyclic_join(q, inst, CountingEmitter())  # simply must not fail

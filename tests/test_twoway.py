@@ -1,0 +1,120 @@
+"""Tests for the Section 3 two-relation joins."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Device, Instance
+from repro.analysis import two_relation_bound
+from repro.core import nested_loop_join, sort_merge_join
+from repro.query import line_query
+from repro.workloads import cross_pairs, schemas_for
+
+from conftest import make_random_data, run_and_compare
+
+
+def two_way_runner(fn):
+    def run(query, instance, emitter):
+        e1, e2 = query.edge_names
+        fn(instance[e1], instance[e2], emitter)
+    return run
+
+
+class TestNestedLoopJoin:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_correct_on_random(self, seed):
+        q = line_query(2)
+        schemas, data = make_random_data(q, 30, 6, seed)
+        run_and_compare(q, schemas, data, two_way_runner(nested_loop_join))
+
+    def test_cross_product_worst_case_io(self):
+        # On the cross product |Q| = N1 N2; NLJ must stay within a
+        # small constant of N1*N2/(MB) + linear.
+        q = line_query(2)
+        schemas = schemas_for(q)
+        n = 96
+        data = {"e1": [(i, 0) for i in range(n)],
+                "e2": [(0, j) for j in range(n)]}
+        device = run_and_compare(q, schemas, data,
+                                 two_way_runner(nested_loop_join),
+                                 M=16, B=4)
+        bound = two_relation_bound(n, n, 16, 4)
+        assert device.stats.total <= 3 * bound
+
+    def test_outer_is_smaller_relation(self):
+        # With N1 >> N2 the small side must be chunked, not rescanned.
+        q = line_query(2)
+        schemas = schemas_for(q)
+        data = {"e1": [(i, i % 3) for i in range(200)],
+                "e2": [(j, j) for j in range(8)]}
+        device = run_and_compare(q, schemas, data,
+                                 two_way_runner(nested_loop_join),
+                                 M=16, B=4)
+        # one outer chunk -> roughly one scan of each side
+        assert device.stats.total <= 2 * (200 + 8) / 4 + 10
+
+    def test_disjoint_schemas_cross_product(self, small_device):
+        from repro.core import CountingEmitter
+        from repro.query import JoinQuery
+        q = JoinQuery(edges={"e1": frozenset({"a"}),
+                             "e2": frozenset({"b"})})
+        inst = Instance.from_dicts(small_device,
+                                   {"e1": ("a",), "e2": ("b",)},
+                                   {"e1": [(i,) for i in range(10)],
+                                    "e2": [(j,) for j in range(10)]})
+        em = CountingEmitter()
+        nested_loop_join(inst["e1"], inst["e2"], em)
+        assert em.count == 100
+
+
+class TestSortMergeJoin:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_correct_on_random(self, seed):
+        q = line_query(2)
+        schemas, data = make_random_data(q, 30, 6, seed)
+        run_and_compare(q, schemas, data, two_way_runner(sort_merge_join))
+
+    def test_correct_with_heavy_heavy_value(self):
+        # One value heavy on both sides (the NLJ fallback), others light.
+        q = line_query(2)
+        schemas = schemas_for(q)
+        data = {"e1": [(i, 0) for i in range(40)]
+                + [(100 + i, i % 3 + 1) for i in range(9)],
+                "e2": [(0, j) for j in range(40)]
+                + [(i % 3 + 1, 200 + i) for i in range(9)]}
+        run_and_compare(q, schemas, data, two_way_runner(sort_merge_join),
+                        M=8, B=2)
+
+    def test_instance_optimal_on_sparse_matching(self):
+        # A one-to-one matching has |Q| = N: the hybrid must cost about
+        # sort(N), far below NLJ's N²/(MB).  N must be large relative
+        # to M for the quadratic term to dominate the sort passes.
+        q = line_query(2)
+        schemas = schemas_for(q)
+        n = 512
+        data = {"e1": [(i, i) for i in range(n)],
+                "e2": [(i, i) for i in range(n)]}
+        dev_smj = run_and_compare(q, schemas, data,
+                                  two_way_runner(sort_merge_join),
+                                  M=8, B=4)
+        dev_nlj = run_and_compare(q, schemas, data,
+                                  two_way_runner(nested_loop_join),
+                                  M=8, B=4)
+        assert dev_smj.stats.total < dev_nlj.stats.total
+
+    def test_no_common_heavy_values_costs_scans_only(self):
+        # The observation Algorithm 1 relies on: without common heavy
+        # values the hybrid costs Õ(N1/B + N2/B).
+        q = line_query(2)
+        schemas = schemas_for(q)
+        n = 120
+        # e1's heavy value 0 is absent from e2; matches are all light.
+        data = {"e1": [(i, 0) for i in range(n)] + [(i, 1 + i % 4)
+                                                    for i in range(12)],
+                "e2": [(1 + j % 4, j) for j in range(12)]}
+        device = run_and_compare(q, schemas, data,
+                                 two_way_runner(sort_merge_join),
+                                 M=16, B=4)
+        linear = (n + 12 + 12) / 4
+        assert device.stats.total <= 8 * linear  # sort passes + merge

@@ -1,0 +1,241 @@
+"""Tests for workload generators and the worst-case constructions."""
+
+import pytest
+
+from repro.internal import join_count
+from repro.query import line_query, lollipop_query, star_query
+from repro.query.lines import is_balanced
+from repro.query.reduce import is_fully_reduced
+from repro.workloads import (balanced_line_sizes, cross_pairs,
+                             cross_product_instance,
+                             cross_product_line_instance,
+                             equal_size_packing_instance,
+                             fig3_line3_instance, l5_for_regime,
+                             lollipop_worstcase_instance, many_to_one,
+                             mapping_line_instance, matching_relation,
+                             one_to_many, onto_mapping, skewed_instance,
+                             star_worstcase_instance, uniform_instance)
+
+
+class TestPrimitives:
+    def test_matching(self):
+        assert matching_relation(3, offset_left=10) == [(10, 0), (11, 1),
+                                                        (12, 2)]
+
+    def test_fans(self):
+        assert one_to_many(3) == [(0, 0), (0, 1), (0, 2)]
+        assert many_to_one(2, right_value=9) == [(0, 9), (1, 9)]
+
+    def test_cross_and_onto(self):
+        assert len(cross_pairs(3, 4)) == 12
+        m = onto_mapping(5, 2)
+        assert len(m) == 5
+        assert {b for _, b in m} == {0, 1}
+        with pytest.raises(ValueError):
+            onto_mapping(2, 5)
+
+
+class TestRandomGenerators:
+    def test_uniform_sizes_and_determinism(self):
+        q = line_query(3)
+        s1, d1 = uniform_instance(q, 20, 10, seed=7)
+        s2, d2 = uniform_instance(q, 20, 10, seed=7)
+        assert d1 == d2
+        assert all(len(rows) == 20 for rows in d1.values())
+        assert all(len(set(rows)) == len(rows) for rows in d1.values())
+
+    def test_uniform_rejects_impossible_size(self):
+        with pytest.raises(ValueError):
+            uniform_instance(line_query(2), 100, 3, seed=0)
+
+    def test_uniform_reduced_flag(self):
+        q = line_query(3)
+        schemas, data = uniform_instance(q, 20, 12, seed=3, reduced=True)
+        assert is_fully_reduced(q, data, schemas)
+
+    def test_skewed_creates_hot_values(self):
+        q = line_query(2)
+        schemas, data = skewed_instance(q, 60, 50, hot_fraction=0.8,
+                                        hot_values=1, seed=1)
+        v2_idx = schemas["e1"].index("v2")
+        hot_count = sum(1 for t in data["e1"] if t[v2_idx] == 0)
+        assert hot_count >= 20  # value 0 is heavy for small M
+
+
+class TestFig3:
+    def test_structure_and_join_size(self):
+        schemas, data = fig3_line3_instance(8, 6)
+        q = line_query(3)
+        assert len(data["e1"]) == 8
+        assert len(data["e2"]) == 1
+        assert len(data["e3"]) == 6
+        assert join_count(q, data, schemas) == 48
+        assert is_fully_reduced(q, data, schemas)
+
+
+class TestCrossProductLine:
+    def test_sizes_are_domain_products(self):
+        z = [3, 2, 4, 1, 5, 1]
+        schemas, data = cross_product_line_instance(z)
+        sizes = balanced_line_sizes(z)
+        assert [len(data[f"e{i}"]) for i in range(1, 6)] == sizes
+
+    def test_partial_join_on_independent_set_is_product(self):
+        from repro.analysis import partial_join_size
+        z = [3, 1, 3, 1, 3, 1]
+        schemas, data = cross_product_line_instance(z)
+        q = line_query(5)
+        n = balanced_line_sizes(z)
+        assert partial_join_size(q, data, schemas,
+                                 {"e1", "e3", "e5"}) \
+            == n[0] * n[2] * n[4]
+
+    def test_fully_reduced(self):
+        schemas, data = cross_product_line_instance([2, 2, 2, 2])
+        assert is_fully_reduced(line_query(3), data, schemas)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_product_line_instance([2, 2])
+        with pytest.raises(ValueError):
+            cross_product_line_instance([2, 0, 2, 2])
+
+
+class TestStarWorstCase:
+    def test_partial_join_on_petals_is_product(self):
+        from repro.analysis import partial_join_size
+        schemas, data = star_worstcase_instance([4, 5, 6])
+        q = star_query(3)
+        assert join_count(q, data, schemas) == 120
+        assert partial_join_size(q, data, schemas,
+                                 {"e1", "e2", "e3"}) == 120
+        assert len(data["e0"]) == 1
+
+
+class TestEqualSizePacking:
+    @pytest.mark.parametrize("q,c", [
+        (line_query(3), 2), (line_query(5), 3), (star_query(3), 3),
+        (lollipop_query(3), 4),
+    ])
+    def test_join_size_is_n_to_the_c(self, q, c):
+        from repro.query import cover_number
+        assert cover_number(q) == c
+        n = 4
+        schemas, data = equal_size_packing_instance(q, n)
+        assert all(len(rows) <= n for rows in data.values())
+        assert join_count(q, data, schemas) == n ** c
+
+
+class TestUnbalancedL5:
+    def test_regime_helpers(self):
+        q, schemas, data = l5_for_regime(8, balanced=True)
+        sizes = [len(data[f"e{i}"]) for i in range(1, 6)]
+        assert is_balanced(sizes)
+        q, schemas, data = l5_for_regime(8, balanced=False)
+        sizes = [len(data[f"e{i}"]) for i in range(1, 6)]
+        assert not is_balanced(sizes)
+        assert sizes[0] * sizes[2] * sizes[4] < sizes[1] * sizes[3]
+
+    def test_instances_fully_reduced(self):
+        for balanced in (True, False):
+            q, schemas, data = l5_for_regime(6, balanced=balanced)
+            assert is_fully_reduced(q, data, schemas)
+
+
+class TestMappingLine:
+    def test_kinds(self):
+        schemas, data = mapping_line_instance(
+            [3, 3, 6, 2, 2], ["one1", "fanout", "onto", "cross"])
+        assert data["e1"] == [(0, 0), (1, 1), (2, 2)]
+        assert len(data["e2"]) == 6
+        assert len(data["e3"]) == 6
+        assert len(data["e4"]) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mapping_line_instance([2, 3], ["one1"])
+        with pytest.raises(ValueError):
+            mapping_line_instance([3, 2], ["fanout"])
+        with pytest.raises(ValueError):
+            mapping_line_instance([2, 2, 2], ["cross"])
+
+
+class TestLollipopWorstCase:
+    def test_cases_build_and_reduce(self):
+        q = lollipop_query(3)
+        for case in ("petals", "ends"):
+            schemas, data = lollipop_worstcase_instance(q, case=case,
+                                                        scale=3)
+            assert set(schemas) == set(q.edges)
+            assert is_fully_reduced(q, data, schemas)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            lollipop_worstcase_instance(lollipop_query(3), case="zzz",
+                                        scale=2)
+
+    def test_non_lollipop_rejected(self):
+        with pytest.raises(ValueError):
+            lollipop_worstcase_instance(line_query(3), case="petals",
+                                        scale=2)
+
+
+class TestCrossProductInstance:
+    def test_general_query(self):
+        q = star_query(2)
+        schemas, data = cross_product_instance(
+            q, {"v1": 2, "v2": 3, "u1": 4, "u2": 1})
+        assert len(data["e0"]) == 6
+        assert len(data["e1"]) == 8
+        assert len(data["e2"]) == 3
+
+
+class TestDumbbellWorstCase:
+    def test_independent_case_partial_join(self):
+        from repro.analysis import partial_join_size
+        from repro.query import dumbbell_query
+        from repro.workloads import dumbbell_worstcase_instance
+
+        q = dumbbell_query(3, 6)
+        schemas, data = dumbbell_worstcase_instance(q, case="independent",
+                                                    scale=3)
+        petals_and_bar = {"e1", "e2", "e3", "e4", "e5"}
+        expected = 1  # bar has one tuple; petals have `scale` each
+        for e in ("e1", "e2", "e4", "e5"):
+            expected *= len(data[e])
+        assert partial_join_size(q, data, schemas, petals_and_bar) \
+            == expected
+
+    def test_cores_case_widens_the_bar(self):
+        from repro.query import dumbbell_query
+        from repro.workloads import dumbbell_worstcase_instance
+
+        q = dumbbell_query(3, 6)
+        schemas, data = dumbbell_worstcase_instance(q, case="cores",
+                                                    scale=3)
+        assert len(data["e3"]) == 4  # the 2x2 bar
+
+    def test_condition7(self):
+        from repro.query import dumbbell_query
+        from repro.workloads import condition7_holds
+
+        q = dumbbell_query(3, 6)
+        sizes = {e: 10 for e in q.edges}
+        assert condition7_holds(q, sizes)
+        sizes["e0"] = 1000
+        assert not condition7_holds(q, sizes)
+
+    def test_validation(self):
+        import pytest
+        from repro.query import dumbbell_query, line_query
+        from repro.workloads import (condition7_holds,
+                                     dumbbell_worstcase_instance)
+
+        with pytest.raises(ValueError):
+            dumbbell_worstcase_instance(line_query(3), case="cores",
+                                        scale=2)
+        with pytest.raises(ValueError):
+            dumbbell_worstcase_instance(dumbbell_query(3, 6),
+                                        case="zzz", scale=2)
+        with pytest.raises(ValueError):
+            condition7_holds(line_query(3), {})
