@@ -13,26 +13,39 @@ from typing import Callable, Mapping, Sequence
 
 from repro import Device, Instance
 from repro.core import CountingEmitter
+from repro.em import PoolConfig
 
 
 def run_em(query, schemas, data, runner: Callable, M: int, B: int,
-           **kwargs) -> dict:
-    """Run an EM algorithm on a fresh device; return io/result counts."""
-    device = Device(M=M, B=B)
+           pool: PoolConfig | None = None, **kwargs) -> dict:
+    """Run an EM algorithm on a fresh device; return io/result counts.
+
+    ``pool`` opts the device into a buffer pool; the pool is flushed
+    before counting so totals are deterministic, and the returned dict
+    gains ``hits``/``misses``/``hit_rate``.
+    """
+    device = Device(M=M, B=B, buffer_pool=pool)
     instance = Instance.from_dicts(device, schemas, data)
     emitter = CountingEmitter()
     runner(query, instance, emitter, **kwargs)
-    return {"io": device.stats.total, "reads": device.stats.reads,
-            "writes": device.stats.writes, "results": emitter.count,
-            "peak_mem": device.memory.peak}
+    device.flush_pool()
+    out = {"io": device.stats.total, "reads": device.stats.reads,
+           "writes": device.stats.writes, "results": emitter.count,
+           "peak_mem": device.memory.peak}
+    if pool is not None:
+        c = device.stats.cache
+        out.update({"hits": c.hits, "misses": c.misses,
+                    "hit_rate": c.hit_rate})
+    return out
 
 
 def best_branch(query, schemas, data, M: int, B: int,
-                limit: int = 12) -> dict:
+                limit: int = 12,
+                pool: PoolConfig | None = None) -> dict:
     """Measure Algorithm 2's best peel branch."""
     from repro.core import acyclic_join_best
 
-    device = Device(M=M, B=B)
+    device = Device(M=M, B=B, buffer_pool=pool)
     instance = Instance.from_dicts(device, schemas, data)
     best = acyclic_join_best(query, instance, limit=limit)
     return {"io": best.io, "reads": best.best.reads,

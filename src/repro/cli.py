@@ -4,25 +4,33 @@ Two subcommands::
 
     python -m repro run --query "R(a,b), S(b,c)" \\
         --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
-        [--out results.csv] [--no-reduce]
+        [--out results.csv] [--no-reduce] [--json] \\
+        [--pool-frames 16 --pool-policy lru]
 
     python -m repro analyze --query "e1(v1,v2)[100], e2(v2,v3)[50]" \\
         -M 1024 -B 64
 
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
-certificate.  ``analyze`` is purely structural: shape, acyclicity,
-edge cover / AGM bound, balance regime for lines, and the GenS branch
-summary — no data needed (sizes come from the ``[n]`` annotations).
+certificate.  ``--pool-frames``/``--pool-policy`` opt into the buffer
+pool (cache counters join the report); ``--json`` emits the whole
+report as one JSON document so benchmarks and CI can scrape results
+without parsing prose.  ``analyze`` is purely structural: shape,
+acyclicity, edge cover / AGM bound, balance regime for lines, and the
+GenS branch summary — no data needed (sizes come from the ``[n]``
+annotations).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import certify
 from repro.core import CollectingEmitter, execute
+from repro.em.bufferpool import PoolConfig
+from repro.em.policies import POLICIES
 from repro.data.io import dump_results_csv, instance_from_csv
 from repro.em.device import Device
 from repro.query import (fractional_edge_cover, gens_all,
@@ -54,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--certificate", action="store_true",
                      help="also compute the optimality certificate "
                           "(expensive: joins in memory)")
+    run.add_argument("--pool-frames", type=int, default=0, metavar="N",
+                     help="enable the buffer pool with N page frames "
+                          "(default 0 = off, paper-faithful accounting)")
+    run.add_argument("--pool-policy", choices=sorted(POLICIES),
+                     default="lru",
+                     help="replacement policy for --pool-frames "
+                          "(default lru)")
+    run.add_argument("--json", action="store_true",
+                     help="emit one JSON document instead of prose "
+                          "(io, phases, memory peak, cache counters)")
 
     analyze = sub.add_parser("analyze",
                              help="structural analysis of a query")
@@ -81,7 +99,15 @@ def cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    device = Device(M=args.M, B=args.B)
+    pool = None
+    if args.pool_frames:
+        if args.pool_frames < 0:
+            print(f"error: --pool-frames must be >= 1, got "
+                  f"{args.pool_frames}", file=sys.stderr)
+            return 2
+        pool = PoolConfig(frames=args.pool_frames,
+                          policy=args.pool_policy)
+    device = Device(M=args.M, B=args.B, buffer_pool=pool)
     instance = instance_from_csv(device, tables)
     # Align loaded column layouts to the query text's attribute order.
     for e, attrs in layouts.items():
@@ -94,6 +120,50 @@ def cmd_run(args: argparse.Namespace) -> int:
     emitter = CollectingEmitter()
     report = execute(query, instance, emitter,
                      reduce_first=not args.no_reduce)
+    if device.pool is not None:
+        # Deferred dirty pages are written back here, after the join /
+        # reduce snapshots — attribute them rather than letting them
+        # inflate "(unattributed)".
+        with device.phases.phase("pool-flush"):
+            device.flush_pool()
+
+    cert = None
+    if args.certificate:
+        data = {e: list(instance[e].peek_tuples()) for e in query.edges}
+        schemas = instance.schemas()
+        cert = certify(query, data, schemas, args.M, args.B, report.io)
+
+    written = None
+    if args.out:
+        written = dump_results_csv(emitter.results, instance.schemas(),
+                                   args.out)
+
+    if args.json:
+        payload = {
+            "query": args.query,
+            "machine": {"M": args.M, "B": args.B},
+            "shape": report.shape,
+            "algorithm": report.algorithm,
+            "results": emitter.count,
+            "io": {"reads": device.stats.reads,
+                   "writes": device.stats.writes,
+                   "total": device.stats.total,
+                   "join": report.io,
+                   "reduce": report.reduce_reads + report.reduce_writes},
+            "phases": device.phases.report(),
+            "memory": {"peak": device.memory.peak},
+            "cache": (device.stats.cache.as_dict()
+                      if device.pool is not None else None),
+        }
+        if cert is not None:
+            payload["certificate"] = {
+                "lower": cert.lower, "gens_upper": cert.gens_upper,
+                "measured_over_lower": cert.measured_over_lower}
+        if written is not None:
+            payload["wrote"] = {"rows": written, "path": args.out}
+        print(json.dumps(payload, indent=2, sort_keys=False))
+        return 0
+
     print(f"shape       : {report.shape}")
     print(f"algorithm   : {report.algorithm}")
     print(f"results     : {emitter.count}")
@@ -103,17 +173,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     phase_report = device.phases.report()
     phases = ", ".join(f"{k}={v}" for k, v in phase_report.items())
     print(f"phases      : {phases}")
-    if args.certificate:
-        data = {e: list(instance[e].peek_tuples()) for e in query.edges}
-        schemas = instance.schemas()
-        cert = certify(query, data, schemas, args.M, args.B, report.io)
+    if device.pool is not None:
+        c = device.stats.cache
+        print(f"cache       : hits={c.hits} misses={c.misses} "
+              f"evictions={c.evictions} writebacks={c.writebacks} "
+              f"hit_rate={c.hit_rate:.2f}")
+    if cert is not None:
         print(f"certificate : lower={cert.lower:.1f} "
               f"gens={cert.gens_upper:.1f} "
               f"measured/lower={cert.measured_over_lower:.2f}")
-    if args.out:
-        n = dump_results_csv(emitter.results, instance.schemas(),
-                             args.out)
-        print(f"wrote       : {n} rows to {args.out}")
+    if written is not None:
+        print(f"wrote       : {written} rows to {args.out}")
     return 0
 
 

@@ -580,7 +580,8 @@ def clone_instance(instance: Instance,
     (src,) = devices
     dev = Device(M=M or src.M, B=B or src.B,
                  mem_slack=src.memory.slack,
-                 strict_memory=src.memory.strict)
+                 strict_memory=src.memory.strict,
+                 buffer_pool=src.pool_config)
     rels = {}
     for name, rel in instance.items():
         rels[name] = Relation.from_tuples(dev, rel.schema,

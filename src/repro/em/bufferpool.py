@@ -1,0 +1,230 @@
+"""An opt-in buffer pool between page access and the simulated disk.
+
+The paper's cost model (Aggarwal–Vitter) charges one I/O per block
+transfer and assumes nothing about caching, so by default every
+:class:`~repro.em.device.Device` charges each page entry directly to
+:class:`~repro.em.stats.IOStats` — re-reading a hot page costs a fresh
+I/O.  Real buffer-managed executions pay less: a page still resident in
+memory is served for free.  ``Device(M, B, buffer_pool=PoolConfig(...))``
+interposes a :class:`BufferPool` so that gap can be *measured* per query
+class (see ``benchmarks/bench_bufferpool_gap.py``) without disturbing
+the paper-faithful default.
+
+Semantics:
+
+* a **read** of a resident page is a *hit* (no I/O); a miss charges one
+  read and admits the page;
+* a **write** (a flushed writer page) is admitted *dirty* and charged
+  only when the page is evicted or the pool is flushed — each written
+  page is written back exactly once, so with a final :meth:`flush` the
+  write count equals the pool-off write count and all savings are read
+  hits;
+* **pinned** pages are never evicted (operators pin pages they are
+  actively consuming); if every frame is pinned the access bypasses the
+  pool (charged directly, not cached);
+* :meth:`flush` writes back all dirty pages; call it (or
+  ``device.flush_pool()``) at the end of a run so counts are
+  deterministic and comparable.
+
+Counters live in ``device.stats.cache`` (hits / misses / evictions /
+write-backs) and satisfy ``hits + misses == logical page reads``, where
+the logical count is exactly what the pool-off configuration charges.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Hashable, TYPE_CHECKING
+
+from repro.em.policies import ReplacementPolicy, make_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.em.device import Device
+
+
+class BufferPoolError(RuntimeError):
+    """Raised on pin/unpin misuse."""
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Configuration for an opt-in buffer pool.
+
+    The frame budget is given either in ``tuples`` (a fraction of the
+    device's ``M``, the paper-natural unit; rounded down to whole
+    frames) or directly in page ``frames``.  With neither set, the
+    budget defaults to ``M`` tuples.
+    """
+
+    tuples: int | None = None
+    frames: int | None = None
+    policy: str = "lru"
+
+    def n_frames(self, M: int, B: int) -> int:
+        """Resolve the frame budget in pages for a given machine."""
+        if self.frames is not None:
+            if self.frames < 1:
+                raise ValueError(f"frames must be >= 1, got {self.frames}")
+            return self.frames
+        budget = self.tuples if self.tuples is not None else M
+        if budget < 1:
+            raise ValueError(f"tuples must be >= 1, got {budget}")
+        return max(1, budget // B)
+
+
+class _Frame:
+    """One resident page: its dirtiness and pin count."""
+
+    __slots__ = ("dirty", "pins")
+
+    def __init__(self, dirty: bool) -> None:
+        self.dirty = dirty
+        self.pins = 0
+
+
+class BufferPool:
+    """A fixed budget of page frames with a pluggable eviction policy.
+
+    Pages are keyed by ``(file, page_number)``; the pool never stores
+    tuple data (the simulated disk already holds it) — it tracks
+    residency so the device can charge hits nothing.
+    """
+
+    def __init__(self, device: "Device", config: PoolConfig) -> None:
+        self.device = device
+        self.config = config
+        self.n_frames = config.n_frames(device.M, device.B)
+        self.policy: ReplacementPolicy = make_policy(config.policy)
+        self._frames: dict[tuple[Hashable, int], _Frame] = {}
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def cache(self):
+        """The device's cache counters (reset with ``reset_stats``)."""
+        return self.device.stats.cache
+
+    def contains(self, f: Hashable, page: int) -> bool:
+        """Is the page currently resident?"""
+        return (f, page) in self._frames
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def resident_tuples(self) -> int:
+        """Upper bound on memory held by the pool, in tuples."""
+        return len(self._frames) * self.device.B
+
+    def pin_count(self, f: Hashable, page: int) -> int:
+        frame = self._frames.get((f, page))
+        return 0 if frame is None else frame.pins
+
+    # -- page access (called by Device.charge_read / charge_write) -----
+
+    def read_page(self, f: Hashable, page: int) -> None:
+        """Account one logical page read: a hit or a charged miss."""
+        key = (f, page)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.cache.hits += 1
+            self.policy.on_access(key)
+            return
+        self.cache.misses += 1
+        self.device.stats.reads += 1
+        self._admit(key, dirty=False)
+
+    def write_page(self, f: Hashable, page: int) -> None:
+        """Account one logical page write, deferred until write-back."""
+        key = (f, page)
+        frame = self._frames.get(key)
+        if frame is not None:
+            frame.dirty = True
+            self.policy.on_access(key)
+            return
+        if not self._admit(key, dirty=True):
+            # Every frame pinned: write through, uncached.
+            self.device.stats.writes += 1
+
+    # -- pinning -------------------------------------------------------
+
+    def pin(self, f: Hashable, page: int) -> None:
+        """Fault the page in if needed and protect it from eviction."""
+        key = (f, page)
+        if key not in self._frames:
+            self.read_page(f, page)
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(
+                f"cannot pin page {page} of {f!r}: every frame is pinned")
+        frame.pins += 1
+
+    def unpin(self, f: Hashable, page: int) -> None:
+        frame = self._frames.get((f, page))
+        if frame is None or frame.pins == 0:
+            raise BufferPoolError(
+                f"unpin of page {page} of {f!r} without a matching pin")
+        frame.pins -= 1
+
+    @contextlib.contextmanager
+    def pinned(self, f: Hashable, page: int):
+        """Context manager pinning one page for the enclosed scope."""
+        self.pin(f, page)
+        try:
+            yield
+        finally:
+            self.unpin(f, page)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back every dirty page (pages stay resident, clean)."""
+        for key, frame in self._frames.items():
+            if frame.dirty:
+                self.device.stats.writes += 1
+                self.cache.writebacks += 1
+                frame.dirty = False
+
+    def close(self) -> None:
+        """Flush, then drop every frame (pins included)."""
+        self.flush()
+        self._frames.clear()
+        self.policy.clear()
+
+    def clear(self) -> None:
+        """Drop every frame *without* write-back.
+
+        Only for ``Device.reset_stats``: deferred writes would otherwise
+        leak into the zeroed counters.
+        """
+        self._frames.clear()
+        self.policy.clear()
+
+    # -- internals -----------------------------------------------------
+
+    def _admit(self, key: tuple[Hashable, int], dirty: bool) -> bool:
+        """Make ``key`` resident, evicting if full.  False if impossible."""
+        if len(self._frames) >= self.n_frames and not self._evict_one():
+            return False
+        self._frames[key] = _Frame(dirty)
+        self.policy.on_insert(key)
+        return True
+
+    def _evict_one(self) -> bool:
+        victim = self.policy.victim(
+            lambda k: self._frames[k].pins == 0)
+        if victim is None:
+            return False
+        frame = self._frames.pop(victim)
+        self.cache.evictions += 1
+        if frame.dirty:
+            self.device.stats.writes += 1
+            self.cache.writebacks += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BufferPool(frames={self.n_frames}, "
+                f"policy={self.config.policy!r}, "
+                f"resident={len(self._frames)})")

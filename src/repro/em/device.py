@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING
 
+from repro.em.bufferpool import BufferPool, PoolConfig
 from repro.em.stats import IOStats, MemoryGauge, PhaseTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,10 +46,17 @@ class Device:
     strict_memory:
         When true, exceeding the slacked budget raises instead of only
         being recorded in ``memory.peak``.
+    buffer_pool:
+        ``None`` (the default) preserves the paper-faithful accounting:
+        every page entry is a fresh I/O.  Pass a
+        :class:`~repro.em.bufferpool.PoolConfig` to interpose a
+        :class:`~repro.em.bufferpool.BufferPool` so hot pages hit in
+        cache; counters appear in ``stats.cache``.
     """
 
     def __init__(self, M: int, B: int, *, mem_slack: float = 8.0,
-                 strict_memory: bool = False) -> None:
+                 strict_memory: bool = False,
+                 buffer_pool: PoolConfig | None = None) -> None:
         if M < 1:
             raise ValueError(f"M must be >= 1, got {M}")
         if B < 1:
@@ -61,7 +69,39 @@ class Device:
         self.memory = MemoryGauge(capacity=M, slack=mem_slack,
                                   strict=strict_memory)
         self.phases = PhaseTracker(self.stats)
+        self.pool_config = buffer_pool
+        self.pool = (None if buffer_pool is None
+                     else BufferPool(self, buffer_pool))
         self._name_counter = itertools.count()
+
+    # -- I/O charging (called by readers and writers) ----------------
+
+    def charge_read(self, f: "EMFile", page: int) -> None:
+        """Charge one logical page read, routed through the pool if any."""
+        if self.stats.suspended:
+            return
+        if self.pool is not None:
+            self.pool.read_page(f, page)
+        else:
+            self.stats.reads += 1
+
+    def charge_write(self, f: "EMFile", page: int) -> None:
+        """Charge one logical page write (deferred when pooled)."""
+        if self.stats.suspended:
+            return
+        if self.pool is not None:
+            self.pool.write_page(f, page)
+        else:
+            self.stats.writes += 1
+
+    def flush_pool(self) -> None:
+        """Write back deferred dirty pages; a no-op without a pool.
+
+        Call at the end of a measured run so I/O totals are
+        deterministic and comparable with the pool-off configuration.
+        """
+        if self.pool is not None:
+            self.pool.flush()
 
     def new_file(self, name: str | None = None) -> "EMFile":
         """Create an empty on-disk file managed by this device."""
@@ -84,22 +124,29 @@ class Device:
 
         Used to set up benchmark inputs: the paper's model charges for
         the algorithm's work, not for the pre-existing input relations.
+        Counting is *suspended* for the duration (not rewound after the
+        fact): rewinding would erase I/O an open
+        :class:`~repro.em.stats.PhaseTracker` phase already attributed,
+        driving its exclusive total negative.
         """
-        snap = self.stats.snapshot()
-        f = self.file_from_tuples(tuples, name)
-        self.stats.reads = snap.reads
-        self.stats.writes = snap.writes
-        return f
+        with self.stats.suspend():
+            return self.file_from_tuples(tuples, name)
 
     def pages(self, n_tuples: int) -> int:
         """Number of pages occupied by ``n_tuples`` tuples."""
         return -(-n_tuples // self.B)
 
     def reset_stats(self) -> None:
-        """Zero the I/O counters, phase totals, and the memory gauge."""
+        """Zero the I/O counters, phase totals, and the memory gauge.
+
+        A buffer pool is emptied without write-back: its deferred
+        writes belong to the history being discarded.
+        """
         self.stats.reset()
         self.memory.reset()
         self.phases.reset()
+        if self.pool is not None:
+            self.pool.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Device(M={self.M}, B={self.B}, io={self.stats.total})"

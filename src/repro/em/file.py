@@ -111,9 +111,10 @@ class Writer:
 
     def _flush(self) -> None:
         if self._buffer:
-            self._file.device.stats.writes += 1
+            page = len(self._file._tuples) // self._file.device.B
             self._file._tuples.extend(self._buffer)
             self._buffer.clear()
+            self._file.device.charge_write(self._file, page)
 
     def close(self) -> None:
         """Flush the final partial page and seal the file."""
@@ -159,7 +160,7 @@ class SequentialReader:
     def _touch(self, index: int) -> None:
         page = index // self._file.device.B
         if page != self._buffered_page:
-            self._file.device.stats.reads += 1
+            self._file.device.charge_read(self._file, page)
             self._buffered_page = page
 
     def peek(self) -> Tuple:

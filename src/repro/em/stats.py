@@ -29,6 +29,43 @@ class MemoryBudgetExceeded(RuntimeError):
 
 
 @dataclass
+class CacheStats:
+    """Buffer-pool counters (all zero while the pool is disabled).
+
+    ``hits + misses`` equals the number of *logical* page reads — the
+    count the pool-off configuration would have charged as physical
+    reads.  ``writebacks`` counts dirty pages written back on eviction
+    or flush; each written page is written back exactly once.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def logical_reads(self) -> int:
+        """Logical page reads: what pool-off accounting would charge."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of logical reads served without an I/O."""
+        return self.hits / self.logical_reads if self.logical_reads else 0.0
+
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, for reports and ``--json``."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "writebacks": self.writebacks,
+                "logical_reads": self.logical_reads,
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+@dataclass
 class IOStats:
     """Mutable counter of block transfers.
 
@@ -38,15 +75,40 @@ class IOStats:
         Number of pages transferred from disk to memory.
     writes:
         Number of pages transferred from memory to disk.
+    cache:
+        Buffer-pool counters; all zero unless the device opts into a
+        :class:`~repro.em.bufferpool.BufferPool`.
+
+    While :meth:`suspend` is active the device charges nothing — used
+    for free input materialization, where rewinding the counters
+    afterwards (the old implementation) would corrupt the exclusive
+    attribution of any open :class:`PhaseTracker` phase.
     """
 
     reads: int = 0
     writes: int = 0
+    cache: CacheStats = field(default_factory=CacheStats, compare=False)
+    _suspended: int = field(default=0, init=False, repr=False,
+                            compare=False)
 
     @property
     def total(self) -> int:
         """Total block transfers, the cost measure of the EM model."""
         return self.reads + self.writes
+
+    @property
+    def suspended(self) -> bool:
+        """True while counting is suspended (free materialization)."""
+        return self._suspended > 0
+
+    @contextlib.contextmanager
+    def suspend(self):
+        """Suspend all charging for the enclosed scope (re-entrant)."""
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
@@ -58,9 +120,10 @@ class IOStats:
                        writes=self.writes - earlier.writes)
 
     def reset(self) -> None:
-        """Zero both counters."""
+        """Zero all counters, including the cache section."""
         self.reads = 0
         self.writes = 0
+        self.cache.reset()
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(reads=self.reads + other.reads,
@@ -133,10 +196,15 @@ class MemoryGauge:
     strict: bool = False
     current: int = 0
     peak: int = 0
-    _limit: float = field(init=False, repr=False, default=0.0)
 
-    def __post_init__(self) -> None:
-        self._limit = self.slack * self.capacity
+    @property
+    def limit(self) -> float:
+        """The enforced budget ``slack * capacity``.
+
+        Recomputed on access so mutating ``capacity`` or ``slack`` after
+        construction cannot leave a stale limit behind.
+        """
+        return self.slack * self.capacity
 
     def charge(self, n: int) -> None:
         """Record ``n`` additional resident tuples."""
@@ -145,10 +213,10 @@ class MemoryGauge:
         self.current += n
         if self.current > self.peak:
             self.peak = self.current
-        if self.strict and self.current > self._limit:
+        if self.strict and self.current > self.limit:
             raise MemoryBudgetExceeded(
                 f"holding {self.current} tuples exceeds "
-                f"slack*M = {self._limit:.0f} (M={self.capacity})")
+                f"slack*M = {self.limit:.0f} (M={self.capacity})")
 
     def release(self, n: int) -> None:
         """Record ``n`` resident tuples being dropped."""

@@ -1,0 +1,246 @@
+"""Tests for the opt-in buffer pool and its replacement policies.
+
+The pool is accounting-only (the simulated disk always holds the
+tuples), so every test here is about *counts*: which accesses hit,
+which evict, and — the load-bearing guarantee — that the pool-disabled
+default stays byte-identical to the paper-faithful seed accounting.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_random_data
+from repro import Device, Instance
+from repro.core import CountingEmitter, execute
+from repro.em import BufferPoolError, PoolConfig, make_policy
+from repro.query import line_query, star_query
+
+
+def pool_device(frames=2, policy="lru", M=8, B=2):
+    return Device(M=M, B=B,
+                  buffer_pool=PoolConfig(frames=frames, policy=policy))
+
+
+class TestPoolConfig:
+    def test_frames_budget(self):
+        assert PoolConfig(frames=3).n_frames(M=64, B=8) == 3
+
+    def test_tuple_budget_rounds_down_to_frames(self):
+        assert PoolConfig(tuples=20).n_frames(M=64, B=8) == 2
+
+    def test_default_budget_is_M_tuples(self):
+        assert PoolConfig().n_frames(M=64, B=8) == 8
+
+    def test_at_least_one_frame(self):
+        assert PoolConfig(tuples=1).n_frames(M=64, B=8) == 1
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            PoolConfig(frames=0).n_frames(M=8, B=2)
+        with pytest.raises(ValueError):
+            PoolConfig(tuples=0).n_frames(M=8, B=2)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            Device(M=8, B=2, buffer_pool=PoolConfig(policy="fifo"))
+
+    def test_make_policy_registry(self):
+        assert make_policy("lru").__class__.__name__ == "LRUPolicy"
+        assert make_policy("clock").__class__.__name__ == "ClockPolicy"
+        assert make_policy("mru").__class__.__name__ == "MRUPolicy"
+
+
+class TestEvictionOrder:
+    """Policies see opaque keys, so sentinel 'files' suffice."""
+
+    def test_lru_evicts_coldest(self):
+        dev = pool_device(frames=2, policy="lru")
+        pool = dev.pool
+        pool.read_page("f", 0)
+        pool.read_page("f", 1)
+        pool.read_page("f", 0)        # hit: 0 becomes most recent
+        pool.read_page("f", 2)        # evicts 1, the coldest
+        assert pool.contains("f", 0) and pool.contains("f", 2)
+        assert not pool.contains("f", 1)
+        assert dev.stats.cache.hits == 1
+        assert dev.stats.cache.evictions == 1
+
+    def test_mru_evicts_hottest(self):
+        dev = pool_device(frames=2, policy="mru")
+        pool = dev.pool
+        pool.read_page("f", 0)
+        pool.read_page("f", 1)
+        pool.read_page("f", 0)        # hit: 0 becomes most recent
+        pool.read_page("f", 2)        # evicts 0, the hottest
+        assert pool.contains("f", 1) and pool.contains("f", 2)
+        assert not pool.contains("f", 0)
+
+    def test_clock_second_chance_sweep(self):
+        dev = pool_device(frames=2, policy="clock")
+        pool = dev.pool
+        pool.read_page("f", 0)
+        pool.read_page("f", 1)
+        # Sweep clears both reference bits, wraps, evicts page 0.
+        pool.read_page("f", 2)
+        assert pool.contains("f", 1) and pool.contains("f", 2)
+        # Page 1's bit is clear and the hand points at it: next victim.
+        pool.read_page("f", 3)
+        assert pool.contains("f", 2) and pool.contains("f", 3)
+        assert not pool.contains("f", 1)
+
+    def test_hits_charge_no_io(self):
+        dev = pool_device(frames=4)
+        for _ in range(5):
+            dev.pool.read_page("f", 0)
+        assert dev.stats.reads == 1
+        assert dev.stats.cache.hits == 4
+        assert dev.stats.cache.misses == 1
+
+
+class TestPinning:
+    def test_pin_prevents_eviction(self):
+        dev = pool_device(frames=2, policy="lru")
+        pool = dev.pool
+        pool.pin("f", 0)              # faults the page in, then pins
+        pool.read_page("f", 1)
+        pool.read_page("f", 2)        # LRU victim would be 0; it is pinned
+        assert pool.contains("f", 0)
+        assert not pool.contains("f", 1)
+        pool.unpin("f", 0)
+
+    def test_all_pinned_bypasses_without_caching(self):
+        dev = pool_device(frames=2)
+        pool = dev.pool
+        pool.pin("f", 0)
+        pool.pin("f", 1)
+        pool.read_page("f", 2)        # miss, charged, not admitted
+        assert not pool.contains("f", 2)
+        pool.read_page("f", 2)        # still a miss: charged again
+        assert dev.stats.reads == 4   # 2 pin faults + 2 uncached misses
+
+    def test_pinned_context_manager(self):
+        dev = pool_device(frames=2)
+        with dev.pool.pinned("f", 0):
+            assert dev.pool.pin_count("f", 0) == 1
+        assert dev.pool.pin_count("f", 0) == 0
+
+    def test_unpin_without_pin_rejected(self):
+        dev = pool_device(frames=2)
+        dev.pool.read_page("f", 0)
+        with pytest.raises(BufferPoolError):
+            dev.pool.unpin("f", 0)
+
+
+class TestDirtyPages:
+    def test_writes_deferred_then_counted_exactly_once(self):
+        dev = pool_device(frames=2, M=8, B=2)
+        f = dev.file_from_tuples([(i,) for i in range(6)])  # 3 pages
+        # Two frames: page 0 was evicted dirty (1 write-back); pages
+        # 1-2 are resident dirty with their writes still deferred.
+        assert dev.stats.writes == 1
+        dev.flush_pool()
+        assert dev.stats.writes == 3
+        dev.flush_pool()              # idempotent: pages now clean
+        assert dev.stats.writes == 3
+        assert dev.stats.cache.writebacks == 3
+        # Pages 1-2 are still resident (clean): reading them is free.
+        list(f.segment(2, 6).scan())
+        assert dev.stats.cache.hits == 2
+        assert dev.stats.reads == 0
+        # The evicted page 0 is a charged miss.
+        list(f.segment(0, 2).scan())
+        assert dev.stats.reads == 1
+
+    def test_reset_stats_drops_deferred_writes(self):
+        dev = pool_device(frames=4, M=8, B=2)
+        dev.file_from_tuples([(i,) for i in range(4)])
+        dev.reset_stats()
+        dev.flush_pool()
+        assert dev.stats.writes == 0
+        assert dev.pool.resident_pages == 0
+
+    def test_close_flushes_and_drops(self):
+        dev = pool_device(frames=4, M=8, B=2)
+        dev.file_from_tuples([(i,) for i in range(4)])  # 2 dirty pages
+        dev.pool.close()
+        assert dev.stats.writes == 2
+        assert dev.pool.resident_pages == 0
+
+
+class TestPoolDisabledDefault:
+    def test_device_has_no_pool_by_default(self):
+        dev = Device(M=8, B=2)
+        assert dev.pool is None
+        assert dev.pool_config is None
+        dev.flush_pool()              # no-op, no error
+
+    def test_cache_counters_stay_zero_without_pool(self):
+        dev = Device(M=8, B=2)
+        f = dev.file_from_tuples([(i,) for i in range(8)])
+        list(f.scan())
+        c = dev.stats.cache
+        assert (c.hits, c.misses, c.evictions, c.writebacks) == (0, 0, 0, 0)
+
+
+def _run_star(pool):
+    q = star_query(2)
+    schemas, data = make_random_data(q, 30, 4, seed=3)
+    dev = Device(M=8, B=2, buffer_pool=pool)
+    inst = Instance.from_dicts(dev, schemas, data)
+    em = CountingEmitter()
+    execute(q, inst, em)
+    dev.flush_pool()
+    return dev, em
+
+
+class TestAccountingInvariants:
+    def test_hits_plus_misses_equal_logical_reads(self):
+        """Pool-on logical reads must equal pool-off physical reads."""
+        dev_off, em_off = _run_star(None)
+        dev_on, em_on = _run_star(PoolConfig(tuples=8))
+        assert em_on.count == em_off.count
+        c = dev_on.stats.cache
+        assert c.hits + c.misses == c.logical_reads
+        assert c.logical_reads == dev_off.stats.reads
+
+    def test_writes_conserved_and_reads_never_increase(self):
+        dev_off, _ = _run_star(None)
+        dev_on, _ = _run_star(PoolConfig(tuples=8))
+        assert dev_on.stats.writes == dev_off.stats.writes
+        assert dev_on.stats.reads <= dev_off.stats.reads
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_edges=st.integers(1, 3), size=st.integers(2, 14),
+       domain=st.integers(2, 4), seed=st.integers(0, 10**6),
+       policy=st.sampled_from(["lru", "clock", "mru"]))
+def test_pool_disabled_counts_equal_seed_counts(n_edges, size, domain,
+                                                seed, policy):
+    """Property: on random small instances, the pool-off run is the
+    ground truth — deterministic, and the pool-on run conserves writes,
+    never reads more, and accounts every logical read as hit or miss.
+    """
+    q = line_query(n_edges)
+    schemas, data = make_random_data(q, size, domain, seed=seed)
+
+    def run(pool):
+        dev = Device(M=4, B=2, buffer_pool=pool)
+        inst = Instance.from_dicts(dev, schemas, data)
+        em = CountingEmitter()
+        execute(q, inst, em)
+        dev.flush_pool()
+        return dev, em
+
+    dev_a, em_a = run(None)
+    dev_b, em_b = run(None)
+    assert (dev_a.stats.reads, dev_a.stats.writes) == \
+        (dev_b.stats.reads, dev_b.stats.writes)
+
+    dev_on, em_on = run(PoolConfig(tuples=4, policy=policy))
+    assert em_on.count == em_a.count
+    assert dev_on.stats.writes == dev_a.stats.writes
+    assert dev_on.stats.reads <= dev_a.stats.reads
+    c = dev_on.stats.cache
+    assert c.logical_reads == dev_a.stats.reads
+    assert dev_on.stats.reads == c.misses

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -62,6 +64,51 @@ class TestRun:
                    "--table", f"follows={csv_tables}/follows.csv"])
         assert rc == 2
         assert "columns" in capsys.readouterr().err
+
+    def test_buffer_pool_reports_cache_line(self, csv_tables, capsys):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "-M", "64", "-B", "8",
+                   "--pool-frames", "8", "--pool-policy", "clock"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache       : hits=" in out
+        assert "hit_rate=" in out
+
+
+class TestRunJson:
+    def _payload(self, csv_tables, capsys, *extra):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "-M", "64", "-B", "8", "--json", *extra])
+        assert rc == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_json_is_scrapable(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys)
+        assert p["results"] == 4
+        assert p["algorithm"] == "two-way-sort-merge"
+        assert p["io"]["total"] == p["io"]["reads"] + p["io"]["writes"]
+        assert p["io"]["join"] + p["io"]["reduce"] == p["io"]["total"]
+        assert "(unattributed)" in p["phases"]
+        assert sum(p["phases"].values()) == p["io"]["total"]
+        assert p["memory"]["peak"] >= 0
+        assert p["machine"] == {"M": 64, "B": 8}
+        assert p["cache"] is None     # pool off by default
+
+    def test_json_with_pool_has_cache_section(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys, "--pool-frames", "8")
+        cache = p["cache"]
+        assert cache["hits"] + cache["misses"] == cache["logical_reads"]
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
+    def test_json_with_certificate(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys, "--certificate")
+        assert p["certificate"]["lower"] > 0
 
 
 class TestAnalyze:

@@ -1,8 +1,8 @@
-"""Unit tests for I/O counters and the memory gauge."""
+"""Unit tests for I/O counters, cache counters, and the memory gauge."""
 
 import pytest
 
-from repro.em import IOStats, MemoryBudgetExceeded, MemoryGauge
+from repro.em import CacheStats, IOStats, MemoryBudgetExceeded, MemoryGauge
 
 
 class TestIOStats:
@@ -38,6 +38,45 @@ class TestIOStats:
         s = IOStats(reads=7, writes=7)
         s.reset()
         assert s.total == 0
+
+    def test_reset_zeroes_cache_section(self):
+        s = IOStats()
+        s.cache.hits = 3
+        s.cache.misses = 2
+        s.reset()
+        assert s.cache.hits == 0 and s.cache.misses == 0
+
+    def test_suspend_freezes_counting(self):
+        s = IOStats(reads=2)
+        assert not s.suspended
+        with s.suspend():
+            assert s.suspended
+            with s.suspend():       # re-entrant
+                assert s.suspended
+            assert s.suspended
+        assert not s.suspended
+        assert s.reads == 2
+
+
+class TestCacheStats:
+    def test_logical_reads_and_hit_rate(self):
+        c = CacheStats(hits=6, misses=2)
+        assert c.logical_reads == 8
+        assert c.hit_rate == 0.75
+
+    def test_hit_rate_of_idle_cache_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_as_dict_round_trip(self):
+        c = CacheStats(hits=1, misses=3, evictions=2, writebacks=1)
+        d = c.as_dict()
+        assert d["hits"] == 1 and d["misses"] == 3
+        assert d["logical_reads"] == 4 and d["hit_rate"] == 0.25
+
+    def test_reset(self):
+        c = CacheStats(hits=1, misses=1, evictions=1, writebacks=1)
+        c.reset()
+        assert c.as_dict()["logical_reads"] == 0
 
 
 class TestMemoryGauge:
@@ -83,3 +122,22 @@ class TestMemoryGauge:
         g.charge(5)
         g.reset()
         assert g.current == 0 and g.peak == 0
+
+    def test_limit_tracks_capacity_mutation(self):
+        """Regression: mutating capacity/slack must not leave a stale
+        limit behind (the old cached ``_limit`` did)."""
+        g = MemoryGauge(capacity=10, slack=1.0, strict=True)
+        g.capacity = 100
+        g.charge(50)                  # within the recomputed limit
+        assert g.current == 50
+        with pytest.raises(MemoryBudgetExceeded):
+            g.charge(51)
+
+    def test_limit_tracks_slack_mutation(self):
+        g = MemoryGauge(capacity=10, slack=1.0, strict=True)
+        g.slack = 3.0
+        g.charge(25)
+        assert g.limit == 30.0
+        g.slack = 1.0
+        with pytest.raises(MemoryBudgetExceeded):
+            g.charge(1)

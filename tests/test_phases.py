@@ -40,6 +40,52 @@ class TestPhaseTracker:
         assert small_device.stats.total == 0
 
 
+class TestFreeMaterializationAttribution:
+    """Regression: ``file_from_tuples_free`` must suspend counting.
+
+    The old implementation rewound ``stats.reads/writes`` after the
+    writes happened; any I/O an inner phase attributed in between was
+    erased from the device total but not from the phase, driving the
+    enclosing phase's exclusive total negative.
+    """
+
+    def test_free_materialization_inside_phase_is_invisible(self,
+                                                            small_device):
+        with small_device.phases.phase("setup"):
+            small_device.file_from_tuples_free([(i,) for i in range(20)])
+        assert small_device.phases.totals["setup"] == 0
+        assert small_device.stats.total == 0
+
+    def test_charged_work_inside_free_generator_stays_consistent(self):
+        device = Device(M=8, B=2)
+
+        def gen():
+            # Charged I/O attributed to an inner phase *during* the
+            # free materialization — the case the rewind corrupted.
+            with device.phases.phase("inner"):
+                device.file_from_tuples([(i,) for i in range(8)])
+            yield (0,)
+
+        with device.phases.phase("outer"):
+            device.file_from_tuples_free(gen())
+        report = device.phases.report()
+        assert all(v >= 0 for v in report.values()), report
+        assert sum(report.values()) == device.stats.total
+        # Suspension makes the whole materialization free, including
+        # work its input generator performs.
+        assert device.stats.total == 0
+
+    def test_free_materialization_bypasses_the_pool(self):
+        from repro.em import PoolConfig
+
+        device = Device(M=8, B=2,
+                        buffer_pool=PoolConfig(frames=4))
+        device.file_from_tuples_free([(i,) for i in range(8)])
+        device.flush_pool()
+        assert device.stats.total == 0
+        assert device.pool.resident_pages == 0
+
+
 class TestInstrumentation:
     def test_acyclic_join_attributes_sorts_and_semijoins(self):
         device = Device(M=8, B=2)

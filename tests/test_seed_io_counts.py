@@ -1,0 +1,55 @@
+"""Pool-off I/O counts must stay byte-identical to the seed accounting.
+
+These exact (reads, writes, results) triples were recorded on fixed
+instances *before* the buffer-pool subsystem existed.  With the pool
+disabled (the default), the routing through ``Device.charge_read`` /
+``charge_write`` must reproduce them exactly — the paper-faithful
+accounting is the contract every benchmark number rests on.
+"""
+
+from repro import Device, Instance
+from repro.core import (CountingEmitter, acyclic_join_best, execute,
+                        line3_join, nested_loop_join)
+from repro.query import line_query, star_query
+from repro.workloads import (fig3_line3_instance, schemas_for,
+                             star_worstcase_instance)
+
+
+def measure(query, schemas, data, M, B, runner):
+    device = Device(M=M, B=B)
+    instance = Instance.from_dicts(device, schemas, data)
+    emitter = CountingEmitter()
+    runner(query, instance, emitter)
+    return device.stats.reads, device.stats.writes, emitter.count
+
+
+class TestSeedCounts:
+    def test_two_relation_nested_loop(self):
+        schemas = schemas_for(line_query(2))
+        data = {"e1": [(i, 0) for i in range(64)],
+                "e2": [(0, j) for j in range(64)]}
+        got = measure(line_query(2), schemas, data, 16, 4,
+                      lambda q, i, e: nested_loop_join(i["e1"], i["e2"], e))
+        assert got == (80, 0, 4096)
+
+    def test_line3_algorithm1(self):
+        schemas, data = fig3_line3_instance(32, 32)
+        got = measure(line_query(3), schemas, data, 4, 2,
+                      lambda q, i, e: line3_join(q, i, e))
+        assert got == (325, 146, 1024)
+
+    def test_star_best_branch(self):
+        schemas, data = star_worstcase_instance([16, 16])
+        got = measure(star_query(2), schemas, data, 4, 2,
+                      lambda q, i, e: acyclic_join_best(q, i, e, limit=16))
+        assert got == (210, 157, 256)
+
+    def test_planner_execute_line3(self):
+        schemas, data = fig3_line3_instance(16, 16)
+        device = Device(M=8, B=2)
+        instance = Instance.from_dicts(device, schemas, data)
+        emitter = CountingEmitter()
+        report = execute(line_query(3), instance, emitter)
+        assert report.algorithm == "algorithm-1"
+        assert (device.stats.reads, device.stats.writes,
+                emitter.count) == (127, 80, 256)
