@@ -1,19 +1,33 @@
 #!/usr/bin/env python3
-"""Regenerate the measured tables in EXPERIMENTS.md.
+"""Regenerate the measured tables in EXPERIMENTS.md — and guard them.
 
-Runs every benchmark module's ``sweep()`` (the same measurements the
-pytest harness asserts on) and prints the tables as markdown, so
-EXPERIMENTS.md can be refreshed with
+Default mode runs every benchmark module's ``sweep()`` (the same
+measurements the pytest harness asserts on) and prints the tables as
+markdown, so EXPERIMENTS.md can be refreshed with
 ``python benchmarks/generate_report.py > measured.md`` and pasted.
+
+Baseline modes pin the Table-1 counters (see ``_util.table1_baseline``
+and ``repro.obs.baseline``)::
+
+    # regenerate benchmarks/BENCH_table1.json after an intentional change
+    python benchmarks/generate_report.py --write-baseline
+
+    # CI: re-measure and fail (exit 1) on any I/O-count drift
+    python benchmarks/generate_report.py --check-baseline \\
+        --trace-summary-out trace_summary.json
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_table1.json"
 
 EXPERIMENTS = [
     ("T1-2rel", "bench_table1_two_relations", "sweep",
@@ -73,13 +87,87 @@ def _fmt(v) -> str:
     return str(v)
 
 
-def main() -> None:
+def _measure(trace_path: str | None) -> tuple[dict, dict]:
+    """Measure all baseline classes; optionally dump tracer summaries."""
+    from _util import table1_baseline
+
+    summaries: dict = {}
+    classes = table1_baseline(tracer_summaries=summaries)
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            json.dump(summaries, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote tracer summaries for {len(summaries)} classes "
+              f"to {trace_path}")
+    return classes, summaries
+
+
+def write_baseline_cmd(path: Path, trace_path: str | None) -> int:
+    from repro.obs import write_baseline
+
+    classes, _ = _measure(trace_path)
+    write_baseline(path, classes, meta={
+        "source": "benchmarks/generate_report.py --write-baseline",
+        "classes": sorted(classes)})
+    print(f"wrote baseline for {len(classes)} query classes to {path}")
+    return 0
+
+
+def check_baseline_cmd(path: Path, trace_path: str | None) -> int:
+    from repro.obs import compare_baselines, load_baseline
+
+    if not path.exists():
+        print(f"error: no committed baseline at {path}; create one "
+              f"with --write-baseline", file=sys.stderr)
+        return 1
+    committed = load_baseline(path)
+    classes, _ = _measure(trace_path)
+    drift = compare_baselines(committed, {"classes": classes})
+    if drift:
+        print(f"BASELINE DRIFT against {path} "
+              f"({len(drift)} difference(s)):")
+        for line in drift:
+            print(f"  {line}")
+        print("If the change is intentional, regenerate with "
+              "--write-baseline and commit the result.")
+        return 1
+    print(f"baseline OK: {len(classes)} query classes match {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate EXPERIMENTS.md tables or manage the "
+                    "pinned Table-1 I/O baseline.")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write-baseline", action="store_true",
+                      help="measure the Table-1 classes and (re)write "
+                           "the pinned baseline JSON")
+    mode.add_argument("--check-baseline", action="store_true",
+                      help="re-measure and exit 1 on any drift against "
+                           "the committed baseline")
+    parser.add_argument("--baseline-path", type=Path,
+                        default=BASELINE_PATH, metavar="PATH",
+                        help=f"baseline file (default {BASELINE_PATH})")
+    parser.add_argument("--trace-summary-out", metavar="PATH",
+                        help="also write per-class tracer rollup "
+                             "summaries to PATH (CI artifact)")
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        return write_baseline_cmd(args.baseline_path,
+                                  args.trace_summary_out)
+    if args.check_baseline:
+        return check_baseline_cmd(args.baseline_path,
+                                  args.trace_summary_out)
+
     for exp_id, module_name, fn_name, title in EXPERIMENTS:
         module = importlib.import_module(module_name)
         rows = getattr(module, fn_name)()
         print(f"### {exp_id} — {title}\n")
         print(markdown_table(rows))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -23,6 +23,7 @@ Quickstart::
 
 from repro.data import Instance, Relation, RelationSchema
 from repro.em import Device, IOStats
+from repro.obs import Tracer
 from repro.query import (JoinQuery, dumbbell_query, is_berge_acyclic,
                          line_query, lollipop_query, star_query,
                          triangle_query, two_relation_query)
@@ -30,7 +31,8 @@ from repro.query import (JoinQuery, dumbbell_query, is_berge_acyclic,
 __version__ = "1.0.0"
 
 __all__ = [
-    "Device", "IOStats", "Instance", "Relation", "RelationSchema",
+    "Device", "IOStats", "Tracer", "Instance", "Relation",
+    "RelationSchema",
     "JoinQuery", "is_berge_acyclic", "line_query", "star_query",
     "lollipop_query", "dumbbell_query", "triangle_query",
     "two_relation_query", "__version__",

@@ -5,7 +5,8 @@ Two subcommands::
     python -m repro run --query "R(a,b), S(b,c)" \\
         --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
         [--out results.csv] [--no-reduce] [--json] \\
-        [--pool-frames 16 --pool-policy lru]
+        [--pool-frames 16 --pool-policy lru] \\
+        [--trace out.jsonl --trace-summary]
 
     python -m repro analyze --query "e1(v1,v2)[100], e2(v2,v3)[50]" \\
         -M 1024 -B 64
@@ -13,9 +14,11 @@ Two subcommands::
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
 certificate.  ``--pool-frames``/``--pool-policy`` opt into the buffer
-pool (cache counters join the report); ``--json`` emits the whole
-report as one JSON document so benchmarks and CI can scrape results
-without parsing prose.  ``analyze`` is purely structural: shape,
+pool (cache counters join the report); ``--trace`` attaches a
+:class:`~repro.obs.Tracer` and exports the event stream as JSON Lines
+(``--trace-summary`` adds its exact per-file/per-phase rollups to the
+report); ``--json`` emits the whole report as one JSON document so
+benchmarks and CI can scrape results without parsing prose.  ``analyze`` is purely structural: shape,
 acyclicity, edge cover / AGM bound, balance regime for lines, and the
 GenS branch summary — no data needed (sizes come from the ``[n]``
 annotations).
@@ -33,6 +36,7 @@ from repro.em.bufferpool import PoolConfig
 from repro.em.policies import POLICIES
 from repro.data.io import dump_results_csv, instance_from_csv
 from repro.em.device import Device
+from repro.obs import Tracer
 from repro.query import (fractional_edge_cover, gens_all,
                          is_berge_acyclic)
 from repro.query.parse import parse_query, parse_schemas
@@ -72,6 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit one JSON document instead of prose "
                           "(io, phases, memory peak, cache counters)")
+    run.add_argument("--trace", metavar="PATH",
+                     help="trace device events (reads, writes, cache, "
+                          "phases, memory peaks) and export them as "
+                          "JSON Lines to PATH")
+    run.add_argument("--trace-summary", action="store_true",
+                     help="report the tracer's exact per-file/per-phase "
+                          "rollups (implies tracing; adds a "
+                          "trace_summary section under --json)")
+    run.add_argument("--trace-sample", type=int, default=1, metavar="K",
+                     help="store every K-th I/O event in the trace "
+                          "buffer (rollups stay exact; default 1)")
+    run.add_argument("--trace-buffer", type=int, default=65536,
+                     metavar="N",
+                     help="ring-buffer capacity in events (oldest "
+                          "events are overwritten; default 65536)")
 
     analyze = sub.add_parser("analyze",
                              help="structural analysis of a query")
@@ -107,7 +126,19 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         pool = PoolConfig(frames=args.pool_frames,
                           policy=args.pool_policy)
-    device = Device(M=args.M, B=args.B, buffer_pool=pool)
+    tracer = None
+    if args.trace or args.trace_summary:
+        if args.trace_sample < 1:
+            print(f"error: --trace-sample must be >= 1, got "
+                  f"{args.trace_sample}", file=sys.stderr)
+            return 2
+        if args.trace_buffer < 1:
+            print(f"error: --trace-buffer must be >= 1, got "
+                  f"{args.trace_buffer}", file=sys.stderr)
+            return 2
+        tracer = Tracer(capacity=args.trace_buffer,
+                        sample_every=args.trace_sample)
+    device = Device(M=args.M, B=args.B, buffer_pool=pool, tracer=tracer)
     instance = instance_from_csv(device, tables)
     # Align loaded column layouts to the query text's attribute order.
     for e, attrs in layouts.items():
@@ -138,6 +169,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         written = dump_results_csv(emitter.results, instance.schemas(),
                                    args.out)
 
+    traced_events = None
+    if tracer is not None and args.trace:
+        traced_events = tracer.export_jsonl(args.trace)
+
     if args.json:
         payload = {
             "query": args.query,
@@ -155,6 +190,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             "cache": (device.stats.cache.as_dict()
                       if device.pool is not None else None),
         }
+        if tracer is not None:
+            payload["trace_summary"] = tracer.summary()
+        if traced_events is not None:
+            payload["trace"] = {"events": traced_events,
+                                "path": args.trace}
         if cert is not None:
             payload["certificate"] = {
                 "lower": cert.lower, "gens_upper": cert.gens_upper,
@@ -178,6 +218,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"cache       : hits={c.hits} misses={c.misses} "
               f"evictions={c.evictions} writebacks={c.writebacks} "
               f"hit_rate={c.hit_rate:.2f}")
+    if tracer is not None and args.trace_summary:
+        s = tracer.summary()
+        print(f"trace       : {s['events']['seen']} events seen, "
+              f"{s['events']['stored']} buffered")
+        for label, b in s["per_phase"].items():
+            print(f"  phase {label}: {b['reads']} reads, "
+                  f"{b['writes']} writes")
+        top = sorted(s["per_file"].items(),
+                     key=lambda kv: -kv[1]["total"])[:5]
+        for fname, b in top:
+            print(f"  file {fname}: {b['reads']} reads, "
+                  f"{b['writes']} writes")
+    if traced_events is not None:
+        print(f"trace file  : {traced_events} events to {args.trace}")
     if cert is not None:
         print(f"certificate : lower={cert.lower:.1f} "
               f"gens={cert.gens_upper:.1f} "

@@ -130,10 +130,12 @@ class BufferPool:
         frame = self._frames.get(key)
         if frame is not None:
             self.cache.hits += 1
+            self.device._notify_cache("hit", f, page)
             self.policy.on_access(key)
             return
         self.cache.misses += 1
-        self.device.stats.reads += 1
+        self.device._notify_cache("miss", f, page)
+        self.device._record_read(f, page)
         self._admit(key, dirty=False)
 
     def write_page(self, f: Hashable, page: int) -> None:
@@ -146,7 +148,7 @@ class BufferPool:
             return
         if not self._admit(key, dirty=True):
             # Every frame pinned: write through, uncached.
-            self.device.stats.writes += 1
+            self.device._record_write(f, page)
 
     # -- pinning -------------------------------------------------------
 
@@ -183,8 +185,9 @@ class BufferPool:
         """Write back every dirty page (pages stay resident, clean)."""
         for key, frame in self._frames.items():
             if frame.dirty:
-                self.device.stats.writes += 1
+                self.device._record_write(key[0], key[1])
                 self.cache.writebacks += 1
+                self.device._notify_cache("writeback", key[0], key[1])
                 frame.dirty = False
 
     def close(self) -> None:
@@ -219,9 +222,11 @@ class BufferPool:
             return False
         frame = self._frames.pop(victim)
         self.cache.evictions += 1
+        self.device._notify_cache("eviction", victim[0], victim[1])
         if frame.dirty:
-            self.device.stats.writes += 1
+            self.device._record_write(victim[0], victim[1])
             self.cache.writebacks += 1
+            self.device._notify_cache("writeback", victim[0], victim[1])
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -52,11 +52,17 @@ class Device:
         :class:`~repro.em.bufferpool.PoolConfig` to interpose a
         :class:`~repro.em.bufferpool.BufferPool` so hot pages hit in
         cache; counters appear in ``stats.cache``.
+    tracer:
+        An optional :class:`~repro.obs.tracer.Tracer` observing every
+        charge (physical I/O, cache events, phases, memory peaks).
+        Purely passive: with or without a tracer, every counter is
+        byte-identical.
     """
 
     def __init__(self, M: int, B: int, *, mem_slack: float = 8.0,
                  strict_memory: bool = False,
-                 buffer_pool: PoolConfig | None = None) -> None:
+                 buffer_pool: PoolConfig | None = None,
+                 tracer=None) -> None:
         if M < 1:
             raise ValueError(f"M must be >= 1, got {M}")
         if B < 1:
@@ -73,6 +79,28 @@ class Device:
         self.pool = (None if buffer_pool is None
                      else BufferPool(self, buffer_pool))
         self._name_counter = itertools.count()
+        self.tracer = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    # -- observability -----------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire ``tracer`` into every accounting hook of this device."""
+        self.tracer = tracer
+        self.phases._tracer = tracer
+        self.memory._tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Stop observing; counters are unaffected either way."""
+        self.tracer = None
+        self.phases._tracer = None
+        self.memory._tracer = None
+
+    @staticmethod
+    def _file_label(f) -> str:
+        """Display name for a file-like key (pool keys are Hashable)."""
+        return getattr(f, "name", None) or str(f)
 
     # -- I/O charging (called by readers and writers) ----------------
 
@@ -83,7 +111,7 @@ class Device:
         if self.pool is not None:
             self.pool.read_page(f, page)
         else:
-            self.stats.reads += 1
+            self._record_read(f, page)
 
     def charge_write(self, f: "EMFile", page: int) -> None:
         """Charge one logical page write (deferred when pooled)."""
@@ -92,7 +120,28 @@ class Device:
         if self.pool is not None:
             self.pool.write_page(f, page)
         else:
-            self.stats.writes += 1
+            self._record_write(f, page)
+
+    def _record_read(self, f, page: int) -> None:
+        """Count one *physical* page read (the model's unit of cost).
+
+        Every ``stats.reads`` increment in the codebase goes through
+        here, so an attached tracer sees exactly the charged I/Os.
+        """
+        self.stats.reads += 1
+        if self.tracer is not None:
+            self.tracer.on_read(self._file_label(f), page)
+
+    def _record_write(self, f, page: int) -> None:
+        """Count one *physical* page write (see :meth:`_record_read`)."""
+        self.stats.writes += 1
+        if self.tracer is not None:
+            self.tracer.on_write(self._file_label(f), page)
+
+    def _notify_cache(self, kind: str, f, page: int) -> None:
+        """Forward a pool event (hit/miss/eviction/writeback) if traced."""
+        if self.tracer is not None:
+            self.tracer.on_cache(kind, self._file_label(f), page)
 
     def flush_pool(self) -> None:
         """Write back deferred dirty pages; a no-op without a pool.
@@ -147,6 +196,8 @@ class Device:
         self.phases.reset()
         if self.pool is not None:
             self.pool.clear()
+        if self.tracer is not None:
+            self.tracer.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Device(M={self.M}, B={self.B}, io={self.stats.total})"

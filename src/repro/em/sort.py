@@ -42,8 +42,12 @@ def _form_runs(segment: FileSegment, key: Key,
     reader = segment.reader()
     i = 0
     while not reader.exhausted:
-        chunk = reader.read_up_to(device.M)
-        with device.memory.hold(len(chunk)):
+        # Charge the gauge *before* reading: the chunk occupies memory
+        # as it streams in, so a strict budget must police the read
+        # itself, not just the sort that follows.
+        n = min(device.M, reader.remaining())
+        with device.memory.hold(n):
+            chunk = reader.read_up_to(n)
             chunk.sort(key=key)
             run = device.new_file(None if name is None else f"{name}.run{i}")
             with run.writer() as w:
@@ -105,9 +109,6 @@ def _merge_once(device: Device, runs: list[EMFile], key: Key,
 
 def is_sorted(source: EMFile | FileSegment, key: Key) -> bool:
     """Check sortedness **without charging I/O** (test helper)."""
-    if isinstance(source, EMFile):
-        tuples = source.peek_tuples()
-    else:
-        tuples = source.peek_tuples()
+    tuples = source.peek_tuples()
     return all(key(tuples[i]) <= key(tuples[i + 1])
                for i in range(len(tuples) - 1))

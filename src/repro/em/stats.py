@@ -64,6 +64,25 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.writebacks = 0
 
+    def copy(self) -> "CacheStats":
+        """An independent copy (snapshots must not alias the live one)."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          evictions=self.evictions,
+                          writebacks=self.writebacks)
+
+    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter-wise difference against an earlier snapshot."""
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          evictions=self.evictions - earlier.evictions,
+                          writebacks=self.writebacks - earlier.writebacks)
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(hits=self.hits + other.hits,
+                          misses=self.misses + other.misses,
+                          evictions=self.evictions + other.evictions,
+                          writebacks=self.writebacks + other.writebacks)
+
 
 @dataclass
 class IOStats:
@@ -111,13 +130,23 @@ class IOStats:
             self._suspended -= 1
 
     def snapshot(self) -> "IOStats":
-        """Return an independent copy of the current counters."""
-        return IOStats(reads=self.reads, writes=self.writes)
+        """Return an independent copy of the current counters.
+
+        The cache section is deep-copied: a snapshot taken on a pooled
+        device must not alias (and silently track) the live counters.
+        """
+        return IOStats(reads=self.reads, writes=self.writes,
+                       cache=self.cache.copy())
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
-        """Return the I/Os incurred since ``earlier`` was snapshotted."""
+        """Return the I/Os incurred since ``earlier`` was snapshotted.
+
+        Includes the cache counters, so pooled interval measurements
+        report their true hit rate rather than a constant zero.
+        """
         return IOStats(reads=self.reads - earlier.reads,
-                       writes=self.writes - earlier.writes)
+                       writes=self.writes - earlier.writes,
+                       cache=self.cache.delta_since(earlier.cache))
 
     def reset(self) -> None:
         """Zero all counters, including the cache section."""
@@ -127,7 +156,8 @@ class IOStats:
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(reads=self.reads + other.reads,
-                       writes=self.writes + other.writes)
+                       writes=self.writes + other.writes,
+                       cache=self.cache + other.cache)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"IOStats(reads={self.reads}, writes={self.writes}, total={self.total})"
@@ -152,20 +182,26 @@ class PhaseTracker:
         self._stats = stats
         self.totals: dict[str, int] = {}
         self._stack: list[list[int]] = []
+        # Set by Device.attach_tracer; observes enter/exit, never counts.
+        self._tracer = None
 
     @contextlib.contextmanager
     def phase(self, label: str):
         entry = [self._stats.total, 0]     # [start, child I/O]
         self._stack.append(entry)
+        if self._tracer is not None:
+            self._tracer.on_phase_enter(label)
         try:
             yield
         finally:
             self._stack.pop()
             delta = self._stats.total - entry[0]
-            self.totals[label] = (self.totals.get(label, 0)
-                                  + delta - entry[1])
+            exclusive = delta - entry[1]
+            self.totals[label] = self.totals.get(label, 0) + exclusive
             if self._stack:
                 self._stack[-1][1] += delta
+            if self._tracer is not None:
+                self._tracer.on_phase_exit(label, exclusive)
 
     def report(self) -> dict[str, int]:
         """Per-phase I/O plus the unattributed remainder."""
@@ -196,6 +232,9 @@ class MemoryGauge:
     strict: bool = False
     current: int = 0
     peak: int = 0
+    # Set by Device.attach_tracer; observes peak growth, never counts.
+    _tracer: object = field(default=None, init=False, repr=False,
+                            compare=False)
 
     @property
     def limit(self) -> float:
@@ -213,6 +252,8 @@ class MemoryGauge:
         self.current += n
         if self.current > self.peak:
             self.peak = self.current
+            if self._tracer is not None:
+                self._tracer.on_mem_peak(self.peak)
         if self.strict and self.current > self.limit:
             raise MemoryBudgetExceeded(
                 f"holding {self.current} tuples exceeds "

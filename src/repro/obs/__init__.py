@@ -1,0 +1,32 @@
+"""Observability for the simulated EM machine: tracing and baselines.
+
+The paper's sole cost measure is the number of block transfers
+(Aggarwal–Vitter; see PAPERS.md), so the one metric worth tracing is
+where those transfers come from.  This subpackage provides:
+
+* :class:`TraceEvent` — one structured record per device event
+  (physical read/write, cache hit/miss/eviction/write-back, phase
+  enter/exit, memory-peak growth);
+* :class:`Tracer` — an opt-in, ring-buffered event sink with exact
+  per-file and per-phase rollups, a sampling knob, and JSONL export;
+* :mod:`~repro.obs.baseline` — pinned benchmark baselines
+  (``BENCH_table1.json``) and the drift comparator CI runs.
+
+Attach a tracer with ``Device(M, B, tracer=Tracer())`` or
+``device.attach_tracer(t)``; with no tracer attached (the default)
+every counter stays byte-identical to the untraced accounting — the
+tracer observes charges, it never makes them.
+"""
+
+from repro.obs.baseline import (compare_baselines, load_baseline,
+                                write_baseline)
+from repro.obs.events import (CACHE_KINDS, EVENT_KINDS, IO_KINDS,
+                              TraceEvent)
+from repro.obs.rollup import IOBreakdown, Rollups, UNATTRIBUTED
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "TraceEvent", "EVENT_KINDS", "IO_KINDS", "CACHE_KINDS",
+    "Tracer", "Rollups", "IOBreakdown", "UNATTRIBUTED",
+    "write_baseline", "load_baseline", "compare_baselines",
+]

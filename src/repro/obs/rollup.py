@@ -1,0 +1,89 @@
+"""Exact per-file and per-phase aggregation of trace events.
+
+Rollups are updated on *every* event the tracer sees — they are never
+sampled — so the per-phase read/write totals always sum to the device's
+``stats.total`` regardless of the ring buffer's capacity or the
+sampling rate.  Only the stored event stream is lossy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Phase label for I/O charged outside any open phase.  Matches the
+#: remainder key of :meth:`repro.em.stats.PhaseTracker.report`.
+UNATTRIBUTED = "(unattributed)"
+
+#: Singular event kind -> the plural counter key ``CacheStats`` uses.
+_CACHE_KEY = {"hit": "hits", "miss": "misses", "eviction": "evictions",
+              "writeback": "writebacks"}
+
+
+@dataclass
+class IOBreakdown:
+    """Read/write counts for one file or one phase."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def as_dict(self) -> dict:
+        return {"reads": self.reads, "writes": self.writes,
+                "total": self.total}
+
+
+class Rollups:
+    """Running aggregates over the event stream."""
+
+    def __init__(self) -> None:
+        self.io = IOBreakdown()
+        self.per_file: dict[str, IOBreakdown] = {}
+        self.per_phase: dict[str, IOBreakdown] = {}
+        self.cache: dict[str, int] = {k: 0 for k in
+                                      ("hits", "misses", "evictions",
+                                       "writebacks")}
+        self.mem_peak = 0
+
+    def record_io(self, kind: str, file: str, phase: str | None) -> None:
+        """Fold one physical read/write into every aggregate."""
+        by_file = self.per_file.setdefault(file, IOBreakdown())
+        by_phase = self.per_phase.setdefault(
+            phase if phase is not None else UNATTRIBUTED, IOBreakdown())
+        if kind == "read":
+            self.io.reads += 1
+            by_file.reads += 1
+            by_phase.reads += 1
+        else:
+            self.io.writes += 1
+            by_file.writes += 1
+            by_phase.writes += 1
+
+    def record_cache(self, kind: str) -> None:
+        # Event kinds are singular; keep the plural keys CacheStats uses.
+        self.cache[_CACHE_KEY[kind]] += 1
+
+    def record_mem_peak(self, peak: int) -> None:
+        if peak > self.mem_peak:
+            self.mem_peak = peak
+
+    def as_dict(self) -> dict:
+        """The summary sections (phases and files sorted by name)."""
+        return {
+            "io": self.io.as_dict(),
+            "per_phase": {k: v.as_dict() for k, v in
+                          sorted(self.per_phase.items())},
+            "per_file": {k: v.as_dict() for k, v in
+                         sorted(self.per_file.items())},
+            "cache": dict(self.cache),
+            "memory": {"peak": self.mem_peak},
+        }
+
+    def reset(self) -> None:
+        self.io = IOBreakdown()
+        self.per_file.clear()
+        self.per_phase.clear()
+        self.cache = {k: 0 for k in self.cache}
+        self.mem_peak = 0

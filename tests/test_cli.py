@@ -110,6 +110,57 @@ class TestRunJson:
         p = self._payload(csv_tables, capsys, "--certificate")
         assert p["certificate"]["lower"] > 0
 
+    def test_trace_exports_parseable_jsonl(self, csv_tables, capsys):
+        trace_path = csv_tables / "trace.jsonl"
+        p = self._payload(csv_tables, capsys, "--trace",
+                          str(trace_path))
+        lines = [json.loads(line) for line in
+                 trace_path.read_text().splitlines()]
+        assert p["trace"] == {"events": len(lines),
+                              "path": str(trace_path)}
+        reads = sum(1 for e in lines if e["kind"] == "read")
+        writes = sum(1 for e in lines if e["kind"] == "write")
+        assert reads == p["io"]["reads"]
+        assert writes == p["io"]["writes"]
+
+    def test_trace_summary_sums_to_total(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys, "--trace-summary")
+        s = p["trace_summary"]
+        assert sum(v["total"] for v in s["per_phase"].values()) == \
+            p["io"]["total"]
+        assert sum(v["total"] for v in s["per_file"].values()) == \
+            p["io"]["total"]
+        assert s["io"]["reads"] == p["io"]["reads"]
+        assert {k: v["total"] for k, v in s["per_phase"].items()} == \
+            p["phases"]
+
+    def test_trace_summary_prose(self, csv_tables, capsys):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "--trace-summary"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace       :" in out
+        assert "phase sort" in out
+
+    def test_trace_sample_keeps_summary_exact(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys, "--trace-summary",
+                          "--trace-sample", "5", "--trace-buffer", "10")
+        s = p["trace_summary"]
+        assert s["events"]["sampled_out"] > 0
+        assert s["io"]["total"] == p["io"]["total"]
+
+    def test_trace_rejects_bad_knobs(self, csv_tables, capsys):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "--trace-summary", "--trace-sample", "0"])
+        assert rc == 2
+        assert "--trace-sample" in capsys.readouterr().err
+
 
 class TestAnalyze:
     def test_line_with_sizes(self, capsys):

@@ -67,6 +67,38 @@ class TestExternalSort:
         assert list(out.peek_tuples()) == sorted(
             f.peek_tuples()[2:7])
 
+    def test_is_sorted_on_segment(self, small_device):
+        f = make_file(small_device, [(3,), (1,), (2,), (4,), (0,)])
+        assert is_sorted(f.segment(2, 4), lambda t: t[0])
+        assert not is_sorted(f.segment(0, 3), lambda t: t[0])
+        assert is_sorted(f.segment(1, 1), lambda t: t[0])
+
+    def test_strict_memory_polices_run_formation(self):
+        """Regression: `_form_runs` used to read the whole chunk before
+        charging the gauge, so a strict budget fired only after the
+        over-budget read had already been performed and charged."""
+        import pytest
+
+        from repro.em import MemoryBudgetExceeded
+
+        device = Device(M=16, B=4, mem_slack=0.5, strict_memory=True)
+        f = device.file_from_tuples_free([(i,) for i in range(32)])
+        with pytest.raises(MemoryBudgetExceeded):
+            external_sort(f, lambda t: t[0])
+        # The budget must fire before the chunk streams in: no read
+        # I/O may have been charged for the rejected run.
+        assert device.stats.reads == 0
+
+    def test_run_formation_peak_is_chunk_sized(self):
+        device = Device(M=8, B=2, strict_memory=True, mem_slack=2.0)
+        f = device.file_from_tuples_free([(31 - i,) for i in range(32)])
+        out = external_sort(f, lambda t: t[0])
+        assert is_sorted(out, lambda t: t[0])
+        # Peak is the M-tuple run chunk (merge holds (fan_in+1)*B = 8
+        # tuples too); under the pre-fix ordering the chunk was read
+        # outside the gauge, but the charge amount itself was the same.
+        assert device.memory.peak == device.M
+
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.integers(-50, 50), max_size=120),
            st.integers(2, 6))

@@ -46,6 +46,53 @@ class TestIOStats:
         s.reset()
         assert s.cache.hits == 0 and s.cache.misses == 0
 
+    def test_snapshot_copies_cache_counters(self):
+        s = IOStats()
+        s.cache.hits = 4
+        s.cache.misses = 6
+        snap = s.snapshot()
+        s.cache.hits += 10
+        assert snap.cache.hits == 4 and snap.cache.misses == 6
+        assert snap.cache is not s.cache
+
+    def test_delta_since_diffs_cache_counters(self):
+        s = IOStats()
+        s.cache.hits, s.cache.misses = 5, 5
+        snap = s.snapshot()
+        s.reads += 3
+        s.cache.hits += 7
+        s.cache.misses += 3
+        s.cache.evictions += 2
+        s.cache.writebacks += 1
+        d = s.delta_since(snap)
+        assert d.reads == 3
+        assert (d.cache.hits, d.cache.misses) == (7, 3)
+        assert (d.cache.evictions, d.cache.writebacks) == (2, 1)
+        assert d.cache.hit_rate == 0.7
+
+    def test_add_sums_cache_counters(self):
+        a, b = IOStats(), IOStats()
+        a.cache.hits, a.cache.misses = 1, 2
+        b.cache.hits, b.cache.misses = 10, 20
+        c = a + b
+        assert (c.cache.hits, c.cache.misses) == (11, 22)
+
+    def test_pooled_interval_measurement_reports_hit_rate(self):
+        """Regression: pooled snapshot/delta used to drop the cache
+        section, so any interval measured on a pooled device reported
+        hits=0 and hit_rate=0.0."""
+        from repro.em import Device, PoolConfig
+
+        device = Device(M=16, B=4, buffer_pool=PoolConfig(frames=4))
+        f = device.file_from_tuples_free([(i,) for i in range(16)])
+        list(f.reader())                    # cold: all misses
+        snap = device.stats.snapshot()
+        list(f.reader())                    # warm: all hits
+        d = device.stats.delta_since(snap)
+        assert d.cache.hits == 4 and d.cache.misses == 0
+        assert d.cache.hit_rate == 1.0
+        assert d.reads == 0
+
     def test_suspend_freezes_counting(self):
         s = IOStats(reads=2)
         assert not s.suspended

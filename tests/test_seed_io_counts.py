@@ -7,16 +7,17 @@ disabled (the default), the routing through ``Device.charge_read`` /
 accounting is the contract every benchmark number rests on.
 """
 
-from repro import Device, Instance
+from repro import Device, Instance, Tracer
 from repro.core import (CountingEmitter, acyclic_join_best, execute,
                         line3_join, nested_loop_join)
+from repro.em import PoolConfig
 from repro.query import line_query, star_query
 from repro.workloads import (fig3_line3_instance, schemas_for,
                              star_worstcase_instance)
 
 
-def measure(query, schemas, data, M, B, runner):
-    device = Device(M=M, B=B)
+def measure(query, schemas, data, M, B, runner, **device_kwargs):
+    device = Device(M=M, B=B, **device_kwargs)
     instance = Instance.from_dicts(device, schemas, data)
     emitter = CountingEmitter()
     runner(query, instance, emitter)
@@ -43,6 +44,31 @@ class TestSeedCounts:
         got = measure(star_query(2), schemas, data, 4, 2,
                       lambda q, i, e: acyclic_join_best(q, i, e, limit=16))
         assert got == (210, 157, 256)
+
+    def test_tracer_does_not_change_any_count(self):
+        """A tracer is a pure observer: with one attached, every seed
+        triple stays byte-identical — pool off and pool on."""
+        cases = [
+            (line_query(2), schemas_for(line_query(2)),
+             {"e1": [(i, 0) for i in range(64)],
+              "e2": [(0, j) for j in range(64)]}, 16, 4,
+             lambda q, i, e: nested_loop_join(i["e1"], i["e2"], e)),
+            (line_query(3), *fig3_line3_instance(32, 32), 4, 2,
+             lambda q, i, e: line3_join(q, i, e)),
+            (star_query(2), *star_worstcase_instance([16, 16]), 4, 2,
+             lambda q, i, e: acyclic_join_best(q, i, e, limit=16)),
+        ]
+        for query, schemas, data, M, B, runner in cases:
+            plain = measure(query, schemas, data, M, B, runner)
+            traced = measure(query, schemas, data, M, B, runner,
+                             tracer=Tracer())
+            assert traced == plain
+            pooled = measure(query, schemas, data, M, B, runner,
+                             buffer_pool=PoolConfig(frames=4))
+            pooled_traced = measure(query, schemas, data, M, B, runner,
+                                    buffer_pool=PoolConfig(frames=4),
+                                    tracer=Tracer(sample_every=3))
+            assert pooled_traced == pooled
 
     def test_planner_execute_line3(self):
         schemas, data = fig3_line3_instance(16, 16)
