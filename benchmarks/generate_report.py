@@ -15,6 +15,15 @@ and ``repro.obs.baseline``)::
     # CI: re-measure and fail (exit 1) on any I/O-count drift
     python benchmarks/generate_report.py --check-baseline \\
         --trace-summary-out trace_summary.json
+
+Slope mode guards the *shape* of the cost curves rather than the raw
+counts: it refits the hidden constants of the Table-1 bounds over the
+standard sweeps (``repro.obs.boundcheck``) and fails when any class's
+measured I/O grows superlinearly in its bound::
+
+    # CI: fail (exit 1) when a log-log slope exceeds 1 + eps
+    python benchmarks/generate_report.py --check-slopes \\
+        --fit-out fitted_constants.json
 """
 
 from __future__ import annotations
@@ -135,6 +144,45 @@ def check_baseline_cmd(path: Path, trace_path: str | None) -> int:
     return 0
 
 
+def _fit_all() -> list:
+    from repro.obs import FIT_CLASSES, fit_class
+
+    return [fit_class(name) for name in sorted(FIT_CLASSES)]
+
+
+def _fit_rows(fits) -> list[dict]:
+    return [{"class": f.name, "bound": f.bound_name,
+             "constant": f.constant, "slope": f.slope, "r2": f.r2,
+             "dominant term": f.dominant_term,
+             "regression": f.regression} for f in fits]
+
+
+def _write_fits(path: str, fits) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"fits": [f.as_dict() for f in fits]}, fh, indent=2,
+                  sort_keys=False)
+        fh.write("\n")
+    print(f"wrote fitted constants for {len(fits)} classes to {path}")
+
+
+def check_slopes_cmd(fit_out: str | None) -> int:
+    fits = _fit_all()
+    if fit_out:
+        _write_fits(fit_out, fits)
+    bad = [f for f in fits if f.regression]
+    for f in fits:
+        flag = "REGRESSION" if f.regression else "ok"
+        print(f"  {f.name}: constant={f.constant:.3f} "
+              f"slope={f.slope:.3f} (eps={f.eps}) r2={f.r2:.4f} "
+              f"dominant={f.dominant_term}  [{flag}]")
+    if bad:
+        print(f"SLOPE REGRESSION in {len(bad)} class(es): measured "
+              f"I/O grows superlinearly in the fitted bound.")
+        return 1
+    print(f"slopes OK: {len(fits)} classes within 1+eps of linear")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate EXPERIMENTS.md tables or manage the "
@@ -146,12 +194,18 @@ def main(argv: list[str] | None = None) -> int:
     mode.add_argument("--check-baseline", action="store_true",
                       help="re-measure and exit 1 on any drift against "
                            "the committed baseline")
+    mode.add_argument("--check-slopes", action="store_true",
+                      help="refit the Table-1 bound constants and exit "
+                           "1 on any superlinear log-log slope")
     parser.add_argument("--baseline-path", type=Path,
                         default=BASELINE_PATH, metavar="PATH",
                         help=f"baseline file (default {BASELINE_PATH})")
     parser.add_argument("--trace-summary-out", metavar="PATH",
                         help="also write per-class tracer rollup "
                              "summaries to PATH (CI artifact)")
+    parser.add_argument("--fit-out", metavar="PATH",
+                        help="also write the full fit results (points, "
+                             "term shares) to PATH (CI artifact)")
     args = parser.parse_args(argv)
 
     if args.write_baseline:
@@ -160,12 +214,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_baseline:
         return check_baseline_cmd(args.baseline_path,
                                   args.trace_summary_out)
+    if args.check_slopes:
+        return check_slopes_cmd(args.fit_out)
 
     for exp_id, module_name, fn_name, title in EXPERIMENTS:
         module = importlib.import_module(module_name)
         rows = getattr(module, fn_name)()
         print(f"### {exp_id} — {title}\n")
         print(markdown_table(rows))
+    fits = _fit_all()
+    if args.fit_out:
+        _write_fits(args.fit_out, fits)
+    print("### Fit — fitted constants of the Table 1 bounds\n")
+    print(markdown_table(_fit_rows(fits)))
     return 0
 
 

@@ -6,7 +6,7 @@ from repro.analysis.bounds import (agm_internal_bound, equal_size_bound,
                                    line7_cover11_bound,
                                    line_independent_bound,
                                    nested_loop_cascade_bound, star_bound,
-                                   two_relation_bound,
+                                   triangle_bound, two_relation_bound,
                                    worst_case_branch_bound, worst_case_psi,
                                    yannakakis_em_bound)
 from repro.analysis.optimality import Certificate, certify
@@ -24,7 +24,7 @@ __all__ = [
     "two_relation_bound", "line3_bound", "line4_bound",
     "line_independent_bound", "line5_unbalanced_bound",
     "line7_cover11_bound", "star_bound", "equal_size_bound",
-    "yannakakis_em_bound", "nested_loop_cascade_bound",
+    "yannakakis_em_bound", "nested_loop_cascade_bound", "triangle_bound",
     "worst_case_psi", "worst_case_branch_bound",
     "agm_internal_bound",
     "Certificate", "certify",

@@ -78,6 +78,15 @@ def line7_cover11_bound(sizes: Sequence[int], M: int, B: int) -> float:
     return (n1 / M) * (n7 / M) * mid + sum(sizes) / B
 
 
+def triangle_bound(n1: int, n2: int, n3: int, M: int, B: int) -> float:
+    """Table 1 row ``C3``: ``√(N1·N2·N3/M)/B`` plus the linear term.
+
+    For equal sizes this is the classic ``N^{3/2}/(√M·B)`` of [7, 12],
+    the cyclic point of comparison the paper's Table 1 cites.
+    """
+    return math.sqrt(n1 * n2 * n3 / M) / B + (n1 + n2 + n3) / B
+
+
 def star_bound(core_size: int, petal_sizes: Sequence[int], M: int,
                B: int) -> float:
     """Corollary 1's first term: ``∏ N_i / (M^{n-1} B)`` for the petals.

@@ -1,27 +1,40 @@
 """Command-line interface: run and analyze joins from the shell.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro run --query "R(a,b), S(b,c)" \\
         --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
         [--out results.csv] [--no-reduce] [--json] \\
         [--pool-frames 16 --pool-policy lru] \\
-        [--trace out.jsonl --trace-summary]
+        [--trace out.jsonl] [--trace-summary] \\
+        [--profile out.json] [--metrics [--metrics-out out.prom]]
 
     python -m repro analyze --query "e1(v1,v2)[100], e2(v2,v3)[50]" \\
         -M 1024 -B 64
+
+    python -m repro fit two_relations line3 [--points 64 128 256] \\
+        [-M 16 -B 4] [--eps 0.25] [--json] [--profile out.json]
 
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
 certificate.  ``--pool-frames``/``--pool-policy`` opt into the buffer
 pool (cache counters join the report); ``--trace`` attaches a
-:class:`~repro.obs.Tracer` and exports the event stream as JSON Lines
-(``--trace-summary`` adds its exact per-file/per-phase rollups to the
-report); ``--json`` emits the whole report as one JSON document so
-benchmarks and CI can scrape results without parsing prose.  ``analyze`` is purely structural: shape,
-acyclicity, edge cover / AGM bound, balance regime for lines, and the
-GenS branch summary — no data needed (sizes come from the ``[n]``
-annotations).
+:class:`~repro.obs.Tracer` and exports the event stream as JSON Lines;
+``--trace-summary`` reports the tracer's exact per-file/per-phase
+rollups and works on its own (no ``--trace`` needed — summary without
+the event file); ``--profile`` attaches a
+:class:`~repro.obs.SpanProfiler` and writes a Chrome-trace/Perfetto
+JSON profile; ``--metrics`` attaches a
+:class:`~repro.obs.MetricsRegistry` (``--metrics-out`` also writes the
+Prometheus text exposition); ``--json`` emits the whole report as one
+JSON document so benchmarks and CI can scrape results without parsing
+prose.  ``analyze`` is purely structural: shape, acyclicity, edge
+cover / AGM bound, balance regime for lines, and the GenS branch
+summary — no data needed (sizes come from the ``[n]`` annotations).
+``fit`` sweeps registered query classes against their Table 1 bounds,
+fits the hidden constant and the log-log slope, and exits non-zero on
+a complexity regression (slope > 1 + eps) — the CI hook next to the
+pinned-counter baseline check.
 """
 
 from __future__ import annotations
@@ -36,7 +49,9 @@ from repro.em.bufferpool import PoolConfig
 from repro.em.policies import POLICIES
 from repro.data.io import dump_results_csv, instance_from_csv
 from repro.em.device import Device
-from repro.obs import Tracer
+from repro.obs import (FIT_CLASSES, MetricsRegistry, ProfiledEmitter,
+                       SpanProfiler, Tracer, fit_class, to_prometheus,
+                       write_chrome_trace)
 from repro.query import (fractional_edge_cover, gens_all,
                          is_berge_acyclic)
 from repro.query.parse import parse_query, parse_schemas
@@ -82,8 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "JSON Lines to PATH")
     run.add_argument("--trace-summary", action="store_true",
                      help="report the tracer's exact per-file/per-phase "
-                          "rollups (implies tracing; adds a "
-                          "trace_summary section under --json)")
+                          "rollups; usable on its own (attaches a "
+                          "tracer without writing an event file) or "
+                          "next to --trace; adds a trace_summary "
+                          "section under --json")
     run.add_argument("--trace-sample", type=int, default=1, metavar="K",
                      help="store every K-th I/O event in the trace "
                           "buffer (rollups stay exact; default 1)")
@@ -91,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="ring-buffer capacity in events (oldest "
                           "events are overwritten; default 65536)")
+    run.add_argument("--profile", metavar="PATH",
+                     help="profile the run with hierarchical spans and "
+                          "write a Chrome-trace/Perfetto JSON file to "
+                          "PATH (adds a profile section under --json)")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect counters/gauges/histograms from the "
+                          "instrumented code paths (adds a metrics "
+                          "section under --json)")
+    run.add_argument("--metrics-out", metavar="PATH",
+                     help="also write the metrics in the Prometheus "
+                          "text exposition format (implies --metrics)")
 
     analyze = sub.add_parser("analyze",
                              help="structural analysis of a query")
@@ -98,6 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="query text with optional [size] suffixes")
     analyze.add_argument("-M", type=int, default=1024)
     analyze.add_argument("-B", type=int, default=64)
+
+    fit = sub.add_parser(
+        "fit", help="fit hidden constants of the Table 1 bounds")
+    fit.add_argument("classes", nargs="+", choices=sorted(FIT_CLASSES),
+                     help="query classes to sweep and fit")
+    fit.add_argument("--points", type=int, nargs="+", metavar="N",
+                     help="instance sizes to sweep (default: the "
+                          "class's registered sweep)")
+    fit.add_argument("-M", type=int, default=None,
+                     help="memory size in tuples (default: per class)")
+    fit.add_argument("-B", type=int, default=None,
+                     help="block size in tuples (default: per class)")
+    fit.add_argument("--eps", type=float, default=0.25,
+                     help="regression tolerance: flag when the fitted "
+                          "log-log slope exceeds 1 + eps (default 0.25)")
+    fit.add_argument("--json", action="store_true",
+                     help="emit the fit results as one JSON document")
+    fit.add_argument("--profile", metavar="PATH",
+                     help="profile the sweep and write a Chrome-trace/"
+                          "Perfetto JSON file to PATH")
     return parser
 
 
@@ -138,7 +186,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         tracer = Tracer(capacity=args.trace_buffer,
                         sample_every=args.trace_sample)
-    device = Device(M=args.M, B=args.B, buffer_pool=pool, tracer=tracer)
+    profiler = SpanProfiler() if args.profile else None
+    metrics = (MetricsRegistry() if args.metrics or args.metrics_out
+               else None)
+    device = Device(M=args.M, B=args.B, buffer_pool=pool, tracer=tracer,
+                    profiler=profiler, metrics=metrics)
     instance = instance_from_csv(device, tables)
     # Align loaded column layouts to the query text's attribute order.
     for e, attrs in layouts.items():
@@ -149,7 +201,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
 
     emitter = CollectingEmitter()
-    report = execute(query, instance, emitter,
+    sink = (ProfiledEmitter(emitter, profiler) if profiler is not None
+            else emitter)
+    report = execute(query, instance, sink,
                      reduce_first=not args.no_reduce)
     if device.pool is not None:
         # Deferred dirty pages are written back here, after the join /
@@ -173,6 +227,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if tracer is not None and args.trace:
         traced_events = tracer.export_jsonl(args.trace)
 
+    profile_events = None
+    if profiler is not None:
+        profile_events = write_chrome_trace(args.profile, profiler)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus(metrics))
+
     if args.json:
         payload = {
             "query": args.query,
@@ -193,8 +254,24 @@ def cmd_run(args: argparse.Namespace) -> int:
         if tracer is not None:
             payload["trace_summary"] = tracer.summary()
         if traced_events is not None:
+            # Report the trace file's loss honestly: the rollups are
+            # exact, but the stored event stream is ring-buffered and
+            # sampled, so say how many events the file is missing.
+            ev = tracer.summary()["events"]
             payload["trace"] = {"events": traced_events,
-                                "path": args.trace}
+                                "path": args.trace,
+                                "seen": ev["seen"],
+                                "stored": ev["stored"],
+                                "sampled_out": ev["sampled_out"],
+                                "overwritten": ev["overwritten"]}
+        if profiler is not None:
+            payload["profile"] = {"path": args.profile,
+                                  "events": profile_events,
+                                  **profiler.summary()}
+        if metrics is not None:
+            payload["metrics"] = metrics.as_dict()
+            if args.metrics_out:
+                payload["metrics_path"] = args.metrics_out
         if cert is not None:
             payload["certificate"] = {
                 "lower": cert.lower, "gens_upper": cert.gens_upper,
@@ -231,7 +308,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  file {fname}: {b['reads']} reads, "
                   f"{b['writes']} writes")
     if traced_events is not None:
-        print(f"trace file  : {traced_events} events to {args.trace}")
+        ev = tracer.summary()["events"]
+        lost = ev["sampled_out"] + ev["overwritten"]
+        print(f"trace file  : {traced_events} of {ev['seen']} events "
+              f"to {args.trace}"
+              + (f" ({ev['sampled_out']} sampled out, "
+                 f"{ev['overwritten']} overwritten)" if lost else ""))
+    if profiler is not None:
+        s = profiler.summary()
+        print(f"profile     : {s['span_count']} spans "
+              f"({s['dropped']} dropped) to {args.profile}; "
+              f"attributed {s['attributed_io']}/{s['total_io']} I/Os")
+    if metrics is not None:
+        d = metrics.as_dict()
+        print(f"metrics     : {len(d['counters'])} counters, "
+              f"{len(d['gauges'])} gauges, "
+              f"{len(d['histograms'])} histograms"
+              + (f" to {args.metrics_out}" if args.metrics_out else ""))
     if cert is not None:
         print(f"certificate : lower={cert.lower:.1f} "
               f"gens={cert.gens_upper:.1f} "
@@ -270,12 +363,60 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fit(args: argparse.Namespace) -> int:
+    profiler = SpanProfiler() if args.profile else None
+    results = []
+    for name in args.classes:
+        try:
+            results.append(fit_class(name, M=args.M, B=args.B,
+                                     points=args.points, eps=args.eps,
+                                     profiler=profiler))
+        except ValueError as exc:
+            print(f"fit: {exc}", file=sys.stderr)
+            return 2
+    regression = any(r.regression for r in results)
+
+    profile_events = None
+    if profiler is not None:
+        profile_events = write_chrome_trace(args.profile, profiler)
+
+    if args.json:
+        payload = {"fits": [r.as_dict() for r in results],
+                   "regression": regression}
+        if args.profile:
+            payload["profile"] = {"path": args.profile,
+                                  "events": profile_events}
+        print(json.dumps(payload, indent=2, sort_keys=False))
+        return 1 if regression else 0
+
+    for r in results:
+        flag = "REGRESSION" if r.regression else "ok"
+        print(f"{r.name}: io ~= {r.constant:.3f} * {r.bound_name}  "
+              f"[{flag}]")
+        print(f"  slope={r.slope:.3f} (eps={r.eps}) "
+              f"intercept={r.intercept:.3f} r2={r.r2:.4f}")
+        shares = ", ".join(f"{t}={s:.2f}" for t, s in
+                           sorted(r.term_shares.items()))
+        print(f"  terms: {shares}  dominant={r.dominant_term}")
+        for p in r.points:
+            print(f"    n={p.n:<6} M={p.M:<4} B={p.B:<3} "
+                  f"io={p.io:<8} bound={p.bound:<10.1f} "
+                  f"ratio={p.ratio:.3f}")
+    if profiler is not None:
+        print(f"profile: {profile_events} spans to {args.profile}")
+    if regression:
+        print("complexity regression detected (slope exceeds 1+eps)")
+    return 1 if regression else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "analyze":
         return cmd_analyze(args)
+    if args.command == "fit":
+        return cmd_fit(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -84,8 +84,13 @@ def acyclic_join(query: JoinQuery, instance: Instance, emitter: Emitter,
     require_berge_acyclic(query)
     _check_alignment(query, instance)
     pick = chooser or first_leaf_chooser
-    _run(query, instance, emitter.emit, pick,
-         literal_buds=paper_literal_buds, trace=trace)
+    edges = query.edge_names
+    if not edges:
+        return
+    device = instance[edges[0]].device
+    with device.span("acyclic_join", kind="algorithm", edges=len(edges)):
+        _run(query, instance, emitter.emit, pick,
+             literal_buds=paper_literal_buds, trace=trace)
 
 
 def first_leaf_chooser(query: JoinQuery, instance: Instance) -> str:
@@ -303,6 +308,9 @@ def _peel_leaf(query: JoinQuery, inst: Instance, emit: EmitFn,
     key_e = rel_e.key(v)
     groups = group_boundaries(rel_e.data, key_e)
     heavy, light = split_heavy_light(groups, M)
+    group_sizes = device.metrics.histogram("acyclic.group_tuples")
+    for g in groups:
+        group_sizes.observe(g.count)
 
     nb_groups = {
         e2: {g.value: g
@@ -564,6 +572,14 @@ def acyclic_join_best(query: JoinQuery, instance: Instance,
         raise AssertionError(
             f"peel plans disagree on the result set: {sorted(signatures)}")
     best_index = min(range(len(runs)), key=lambda i: runs[i].io)
+    if instance:
+        # Exploration runs on cloned throw-away devices; record the
+        # branch cost distribution on the real device's registry.
+        metrics = next(iter(instance.values())).device.metrics
+        branch_io = metrics.histogram("acyclic.branch_io")
+        for r in runs:
+            branch_io.observe(r.io)
+        metrics.counter("acyclic.branches").inc(len(runs))
     if emitter is not None:
         acyclic_join(query, instance, emitter,
                      chooser=plan_chooser(runs[best_index].plan))

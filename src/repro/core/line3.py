@@ -46,17 +46,21 @@ def _line3(r1: Relation, r2: Relation, r3: Relation, v2: str, v3: str,
     device = r1.device
     M = device.M
 
-    r1s = r1.sort_by(v2)
-    r2s = r2.sort_by(v2)
-    r3s = r3.sort_by(v3)
+    with device.span("line3_join", kind="algorithm",
+                     n1=len(r1), n2=len(r2), n3=len(r3)):
+        r1s = r1.sort_by(v2)
+        r2s = r2.sort_by(v2)
+        r3s = r3.sort_by(v3)
 
-    groups1 = group_boundaries(r1s.data, r1s.key(v2))
-    heavy, light = split_heavy_light(groups1, M)
-    groups2 = {g.value: g
-               for g in group_boundaries(r2s.data, r2s.key(v2))}
+        groups1 = group_boundaries(r1s.data, r1s.key(v2))
+        heavy, light = split_heavy_light(groups1, M)
+        groups2 = {g.value: g
+                   for g in group_boundaries(r2s.data, r2s.key(v2))}
 
-    _heavy_values(r1s, r2s, r3s, v2, v3, heavy, groups2, emitter)
-    _light_values(r1s, r2s, r3s, v2, v3, light, emitter)
+        with device.span("heavy_values", groups=len(heavy)):
+            _heavy_values(r1s, r2s, r3s, v2, v3, heavy, groups2, emitter)
+        with device.span("light_values", groups=len(light)):
+            _light_values(r1s, r2s, r3s, v2, v3, light, emitter)
 
 
 def _heavy_values(r1s, r2s, r3s, v2, v3, heavy_groups, groups2,

@@ -46,7 +46,9 @@ def line5_unbalanced_join(query: JoinQuery, instance: Instance,
     e1, e2, e3, e4, e5 = chain.edges
     v2, v3, v4, v5 = chain.join_attrs
     rels = [instance[e] for e in chain.edges]
-    _line5(rels, [v2, v3, v4, v5], emitter)
+    with rels[0].device.span("line5_unbalanced_join", kind="algorithm",
+                             sizes=[len(r) for r in rels]):
+        _line5(rels, [v2, v3, v4, v5], emitter)
 
 
 def _materialize_line3(r_a: Relation, r_b: Relation, r_c: Relation,

@@ -83,7 +83,13 @@ def line7_unbalanced_join(query: JoinQuery, instance: Instance,
     e = chain.edges                   # e[0..6] = R1..R7
     v = chain.join_attrs              # v[0..5] = v2..v7 (shared attrs)
     r3, r4, r5 = instance[e[2]], instance[e[3]], instance[e[4]]
+    with r3.device.span("line7_unbalanced_join", kind="algorithm"):
+        _line7_body(query, instance, emitter, plan_limit, e, v,
+                    r3, r4, r5)
 
+
+def _line7_body(query, instance, emitter, plan_limit, e, v,
+                r3, r4, r5) -> None:
     # Line 1: S = R3 ⋈ R4 ⋈ R5 by Algorithm 1, written to disk.
     s_rel = _materialize_line3(r3, r4, r5, v[2], v[3], "S")
 

@@ -78,30 +78,32 @@ def lw_join(query: JoinQuery, instance: Instance, emitter: Emitter, *,
     else:
         p = max(1, partitions)
 
-    attr_pos = {a: i for i, a in enumerate(attrs)}
-    # Partition each relation by the bucket vector of its own n-1
-    # attributes: p^{n-1} cells per relation, one copy of each tuple.
-    cells: dict[str, dict[tuple[int, ...], Relation]] = {}
-    with device.phases.phase("partition"):
-        for e in query.edge_names:
-            cells[e] = _partition(instance[e], attrs, p)
+    with device.span("lw_join", kind="algorithm", n=n, p=p):
+        attr_pos = {a: i for i, a in enumerate(attrs)}
+        # Partition each relation by the bucket vector of its own n-1
+        # attributes: p^{n-1} cells per relation, one copy of each
+        # tuple.
+        cells: dict[str, dict[tuple[int, ...], Relation]] = {}
+        with device.phases.phase("partition"):
+            for e in query.edge_names:
+                cells[e] = _partition(instance[e], attrs, p)
 
-    # Enumerate the p^n grid; relation e_i contributes the cell keyed
-    # by the bucket vector restricted to its attributes.
-    for cell_vector in itertools.product(range(p), repeat=n):
-        parts: list[tuple[str, Relation]] = []
-        empty = False
-        for e in query.edge_names:
-            key = tuple(cell_vector[attr_pos[a]]
-                        for a in sorted(query.edges[e]))
-            rel = cells[e].get(key)
-            if rel is None or not len(rel):
-                empty = True
-                break
-            parts.append((e, rel))
-        if empty:
-            continue
-        _solve_cell(query, parts, attrs, M, emitter)
+        # Enumerate the p^n grid; relation e_i contributes the cell
+        # keyed by the bucket vector restricted to its attributes.
+        for cell_vector in itertools.product(range(p), repeat=n):
+            parts: list[tuple[str, Relation]] = []
+            empty = False
+            for e in query.edge_names:
+                key = tuple(cell_vector[attr_pos[a]]
+                            for a in sorted(query.edges[e]))
+                rel = cells[e].get(key)
+                if rel is None or not len(rel):
+                    empty = True
+                    break
+                parts.append((e, rel))
+            if empty:
+                continue
+            _solve_cell(query, parts, attrs, M, emitter)
 
 
 def _partition(rel: Relation, attrs: list[str],

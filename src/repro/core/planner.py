@@ -78,19 +78,25 @@ def execute(query: JoinQuery, instance: Instance, emitter: Emitter, *,
         raise ValueError("instance spans multiple devices")
     (device,) = devices
 
-    before = device.stats.snapshot()
-    if reduce_first and len(query.edges) > 1:
-        instance = full_reduce_em(query, instance)
-    after_reduce = device.stats.snapshot()
-    reduce_cost = after_reduce.delta_since(before)
+    with device.span("execute", kind="algorithm",
+                     edges=len(query.edges)) as span:
+        before = device.stats.snapshot()
+        if reduce_first and len(query.edges) > 1:
+            with device.span("full_reduce"):
+                instance = full_reduce_em(query, instance)
+        after_reduce = device.stats.snapshot()
+        reduce_cost = after_reduce.delta_since(before)
 
-    if strategy not in ("best-branch", "guided"):
-        raise ValueError(f"unknown strategy {strategy!r}")
-    shape = classify_shape(query)
-    algorithm = _dispatch(shape, query, instance, emitter, plan_limit,
-                          strategy)
+        if strategy not in ("best-branch", "guided"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        shape = classify_shape(query)
+        span.set("shape", shape)
+        algorithm = _dispatch(shape, query, instance, emitter, plan_limit,
+                              strategy)
+        span.set("algorithm", algorithm)
+        device.metrics.counter(f"planner.dispatch.{shape}").inc()
 
-    join_cost = device.stats.delta_since(after_reduce)
+        join_cost = device.stats.delta_since(after_reduce)
     return ExecutionReport(shape=shape, algorithm=algorithm,
                            reduce_reads=reduce_cost.reads,
                            reduce_writes=reduce_cost.writes,

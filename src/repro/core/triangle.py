@@ -90,22 +90,25 @@ def triangle_join(query: JoinQuery, instance: Instance, emitter: Emitter,
     # Partition each relation along its two attributes' buckets:
     # p² cells per relation, each written once (p·N/B total per
     # dimension pair since every tuple lands in exactly one cell).
-    with device.phases.phase("partition"):
-        cells1 = _partition(r1, a, b, p)      # R1[a-bucket][b-bucket]
-        cells2 = _partition(r2, b, c, p)      # R2[b-bucket][c-bucket]
-        cells3 = _partition(r3, a, c, p)      # R3[a-bucket][c-bucket]
+    with device.span("triangle_join", kind="algorithm", n=n, p=p):
+        with device.phases.phase("partition"):
+            cells1 = _partition(r1, a, b, p)  # R1[a-bucket][b-bucket]
+            cells2 = _partition(r2, b, c, p)  # R2[b-bucket][c-bucket]
+            cells3 = _partition(r3, a, c, p)  # R3[a-bucket][c-bucket]
 
-    for i in range(p):          # a-bucket
-        for j in range(p):      # b-bucket
-            cell1 = cells1[i][j]
-            if not len(cell1):
-                continue
-            for k in range(p):  # c-bucket
-                cell2 = cells2[j][k]
-                cell3 = cells3[i][k]
-                if not len(cell2) or not len(cell3):
-                    continue
-                _solve_cell(cell1, cell2, cell3, a, b, c, M, emitter)
+        with device.span("solve_cells", cells=p ** 3):
+            for i in range(p):          # a-bucket
+                for j in range(p):      # b-bucket
+                    cell1 = cells1[i][j]
+                    if not len(cell1):
+                        continue
+                    for k in range(p):  # c-bucket
+                        cell2 = cells2[j][k]
+                        cell3 = cells3[i][k]
+                        if not len(cell2) or not len(cell3):
+                            continue
+                        _solve_cell(cell1, cell2, cell3, a, b, c, M,
+                                    emitter)
 
 
 def _partition(rel: Relation, attr_x: str, attr_y: str,
@@ -153,6 +156,7 @@ def _solve_cell(cell1: Relation, cell2: Relation, cell3: Relation,
     largest relation.
     """
     total = len(cell1) + len(cell2) + len(cell3)
+    cell1.device.metrics.histogram("triangle.cell_tuples").observe(total)
     if total <= 2 * M:
         _in_memory(cell1, cell2, cell3, a, b, c, emitter)
         return

@@ -44,18 +44,21 @@ def nested_loop_join(r1: Relation, r2: Relation, emitter: Emitter) -> None:
     if attr is not None:
         o_idx = outer.schema.index(attr)
         i_idx = inner.schema.index(attr)
-    for chunk in load_chunks(outer.data, device.M):
-        if attr is None:
-            for t_in in inner.data.scan():
-                for t_out in chunk:
-                    emitter.emit({outer.name: t_out, inner.name: t_in})
-        else:
-            by_value: dict[object, list[tuple]] = {}
-            for t in chunk:
-                by_value.setdefault(t[o_idx], []).append(t)
-            for t_in in inner.data.scan():
-                for t_out in by_value.get(t_in[i_idx], ()):
-                    emitter.emit({outer.name: t_out, inner.name: t_in})
+    with device.span("nested_loop_join", kind="algorithm",
+                     outer=outer.name, inner=inner.name,
+                     n_outer=len(outer), n_inner=len(inner)):
+        for chunk in load_chunks(outer.data, device.M):
+            if attr is None:
+                for t_in in inner.data.scan():
+                    for t_out in chunk:
+                        emitter.emit({outer.name: t_out, inner.name: t_in})
+            else:
+                by_value: dict[object, list[tuple]] = {}
+                for t in chunk:
+                    by_value.setdefault(t[o_idx], []).append(t)
+                for t_in in inner.data.scan():
+                    for t_out in by_value.get(t_in[i_idx], ()):
+                        emitter.emit({outer.name: t_out, inner.name: t_in})
 
 
 def sort_merge_join(r1: Relation, r2: Relation, emitter: Emitter) -> None:
@@ -71,16 +74,18 @@ def sort_merge_join(r1: Relation, r2: Relation, emitter: Emitter) -> None:
         return
     device = r1.device
     M = device.M
-    s1 = r1.sort_by(attr)
-    s2 = r2.sort_by(attr)
-    groups1 = group_boundaries(s1.data, s1.key(attr))
-    groups2 = group_boundaries(s2.data, s2.key(attr))
-    by_value2 = {g.value: g for g in groups2}
-    for g1 in groups1:
-        g2 = by_value2.get(g1.value)
-        if g2 is None:
-            continue
-        _join_groups(s1, g1, s2, g2, M, emitter)
+    with device.span("sort_merge_join", kind="algorithm",
+                     attr=attr, n1=len(r1), n2=len(r2)):
+        s1 = r1.sort_by(attr)
+        s2 = r2.sort_by(attr)
+        groups1 = group_boundaries(s1.data, s1.key(attr))
+        groups2 = group_boundaries(s2.data, s2.key(attr))
+        by_value2 = {g.value: g for g in groups2}
+        for g1 in groups1:
+            g2 = by_value2.get(g1.value)
+            if g2 is None:
+                continue
+            _join_groups(s1, g1, s2, g2, M, emitter)
 
 
 def _join_groups(s1: Relation, g1: Group, s2: Relation, g2: Group,

@@ -43,26 +43,29 @@ def yannakakis_em(query: JoinQuery, instance: Instance, emitter: Emitter,
     for the emit-only variant.
     """
     require_berge_acyclic(query)
-    inst = full_reduce_em(query, instance) if reduce_first else instance
     steps = elimination_order(query)
     if not steps:
         return
-    order = [s.edge for s in reversed(steps)]
-    schemas = {e: inst[e].schema for e in query.edges}
+    device = instance[steps[0].edge].device
+    with device.span("yannakakis_em", kind="algorithm",
+                     edges=len(query.edges)):
+        inst = full_reduce_em(query, instance) if reduce_first else instance
+        order = [s.edge for s in reversed(steps)]
+        schemas = {e: inst[e].schema for e in query.edges}
 
-    acc = inst[order[0]]
-    for i, e in enumerate(order[1:], start=1):
-        last = i == len(order) - 1
-        if last:
-            emit_pair = _final_emit(emitter, query, schemas, acc, inst[e],
-                                    materialize_output)
-            _pairwise(acc, inst[e], None, emit_pair)
-            emit_pair.close()
-        else:
-            acc = _pairwise(acc, inst[e], f"I{i}", None)
-    if len(order) == 1:
-        for t in acc.data.scan():
-            emitter.emit({order[0]: t})
+        acc = inst[order[0]]
+        for i, e in enumerate(order[1:], start=1):
+            last = i == len(order) - 1
+            if last:
+                emit_pair = _final_emit(emitter, query, schemas, acc,
+                                        inst[e], materialize_output)
+                _pairwise(acc, inst[e], None, emit_pair)
+                emit_pair.close()
+            else:
+                acc = _pairwise(acc, inst[e], f"I{i}", None)
+        if len(order) == 1:
+            for t in acc.data.scan():
+                emitter.emit({order[0]: t})
 
 
 def _pairwise(left: Relation, right: Relation, out_label: str | None,

@@ -213,6 +213,8 @@ class BufferPool:
             return False
         self._frames[key] = _Frame(dirty)
         self.policy.on_insert(key)
+        self.device.metrics.gauge("pool.resident_pages").set(
+            len(self._frames))
         return True
 
     def _evict_one(self) -> bool:

@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING
 
 from repro.em.bufferpool import BufferPool, PoolConfig
 from repro.em.stats import IOStats, MemoryGauge, PhaseTracker
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.spans import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.em.file import EMFile
@@ -57,12 +59,22 @@ class Device:
         charge (physical I/O, cache events, phases, memory peaks).
         Purely passive: with or without a tracer, every counter is
         byte-identical.
+    profiler:
+        An optional :class:`~repro.obs.spans.SpanProfiler`; spans
+        opened through :meth:`span` (and by every
+        :class:`~repro.em.stats.PhaseTracker` phase) snapshot the
+        counters at entry/exit.  Passive like the tracer.
+    metrics:
+        An optional :class:`~repro.obs.metrics.MetricsRegistry`.
+        Without one the device carries the shared
+        :data:`~repro.obs.metrics.NULL_METRICS` sink, so instrumented
+        code updates metrics unconditionally at near-zero cost.
     """
 
     def __init__(self, M: int, B: int, *, mem_slack: float = 8.0,
                  strict_memory: bool = False,
                  buffer_pool: PoolConfig | None = None,
-                 tracer=None) -> None:
+                 tracer=None, profiler=None, metrics=None) -> None:
         if M < 1:
             raise ValueError(f"M must be >= 1, got {M}")
         if B < 1:
@@ -80,8 +92,14 @@ class Device:
                      else BufferPool(self, buffer_pool))
         self._name_counter = itertools.count()
         self.tracer = None
+        self.profiler = None
+        self.metrics = NULL_METRICS
         if tracer is not None:
             self.attach_tracer(tracer)
+        if profiler is not None:
+            self.attach_profiler(profiler)
+        if metrics is not None:
+            self.attach_metrics(metrics)
 
     # -- observability -----------------------------------------------
 
@@ -96,6 +114,41 @@ class Device:
         self.tracer = None
         self.phases._tracer = None
         self.memory._tracer = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Wire ``profiler`` in: :meth:`span` records, phases emit spans."""
+        self.profiler = profiler
+        profiler.attach(self)
+        self.phases._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        """Stop profiling; counters are unaffected either way."""
+        if self.profiler is not None:
+            self.profiler.detach()
+        self.profiler = None
+        self.phases._profiler = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Make ``metrics`` the registry instrumented code populates."""
+        self.metrics = metrics
+
+    def detach_metrics(self) -> None:
+        """Swap back to the shared no-op metrics sink."""
+        self.metrics = NULL_METRICS
+
+    def span(self, name: str, kind: str = "operator", **attrs):
+        """A profiled span, or the shared no-op when profiling is off.
+
+        Instrumented code uses this unconditionally::
+
+            with device.span("merge", fan_in=k):
+                ...
+
+        which costs one attribute check when no profiler is attached.
+        """
+        if self.profiler is None:
+            return NULL_SPAN
+        return self.profiler.span(name, kind, **attrs)
 
     @staticmethod
     def _file_label(f) -> str:
@@ -198,6 +251,9 @@ class Device:
             self.pool.clear()
         if self.tracer is not None:
             self.tracer.reset()
+        if self.profiler is not None:
+            self.profiler.reset()
+        self.metrics.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Device(M={self.M}, B={self.B}, io={self.stats.total})"

@@ -29,8 +29,9 @@ def external_sort(source: EMFile | FileSegment, key: Key,
         source = source.whole()
     device = source.device
 
-    runs = _form_runs(source, key, name)
-    merged = _merge_runs(device, runs, key, name)
+    with device.span("external_sort", n=len(source)):
+        runs = _form_runs(source, key, name)
+        merged = _merge_runs(device, runs, key, name)
     return merged
 
 
@@ -38,22 +39,27 @@ def _form_runs(segment: FileSegment, key: Key,
                name: str | None) -> list[EMFile]:
     """Phase 1: read ``M`` tuples at a time, sort in memory, write runs."""
     device = segment.device
+    run_lengths = device.metrics.histogram("sort.run_tuples")
     runs: list[EMFile] = []
     reader = segment.reader()
     i = 0
-    while not reader.exhausted:
-        # Charge the gauge *before* reading: the chunk occupies memory
-        # as it streams in, so a strict budget must police the read
-        # itself, not just the sort that follows.
-        n = min(device.M, reader.remaining())
-        with device.memory.hold(n):
-            chunk = reader.read_up_to(n)
-            chunk.sort(key=key)
-            run = device.new_file(None if name is None else f"{name}.run{i}")
-            with run.writer() as w:
-                w.extend(chunk)
-        runs.append(run)
-        i += 1
+    with device.span("form_runs"):
+        while not reader.exhausted:
+            # Charge the gauge *before* reading: the chunk occupies
+            # memory as it streams in, so a strict budget must police
+            # the read itself, not just the sort that follows.
+            n = min(device.M, reader.remaining())
+            with device.memory.hold(n):
+                chunk = reader.read_up_to(n)
+                chunk.sort(key=key)
+                run = device.new_file(
+                    None if name is None else f"{name}.run{i}")
+                with run.writer() as w:
+                    w.extend(chunk)
+            run_lengths.observe(n)
+            runs.append(run)
+            i += 1
+    device.metrics.counter("sort.runs").inc(i)
     if not runs:
         empty = device.new_file(name)
         empty.writer().close()
@@ -67,12 +73,15 @@ def _merge_runs(device: Device, runs: list[EMFile], key: Key,
     fan_in = max(2, device.M // device.B - 1)
     level = 0
     while len(runs) > 1:
-        next_runs: list[EMFile] = []
-        for j in range(0, len(runs), fan_in):
-            batch = runs[j:j + fan_in]
-            out_name = (None if name is None
-                        else f"{name}.merge{level}.{j // fan_in}")
-            next_runs.append(_merge_once(device, batch, key, out_name))
+        with device.span("merge_level", level=level, runs=len(runs),
+                         fan_in=fan_in):
+            next_runs: list[EMFile] = []
+            for j in range(0, len(runs), fan_in):
+                batch = runs[j:j + fan_in]
+                out_name = (None if name is None
+                            else f"{name}.merge{level}.{j // fan_in}")
+                next_runs.append(_merge_once(device, batch, key, out_name))
+        device.metrics.counter("sort.merge_levels").inc()
         runs = next_runs
         level += 1
     result = runs[0]

@@ -184,6 +184,8 @@ class PhaseTracker:
         self._stack: list[list[int]] = []
         # Set by Device.attach_tracer; observes enter/exit, never counts.
         self._tracer = None
+        # Set by Device.attach_profiler; every phase opens a span.
+        self._profiler = None
 
     @contextlib.contextmanager
     def phase(self, label: str):
@@ -191,9 +193,13 @@ class PhaseTracker:
         self._stack.append(entry)
         if self._tracer is not None:
             self._tracer.on_phase_enter(label)
+        span = (self._profiler.open(label, kind="phase")
+                if self._profiler is not None else None)
         try:
             yield
         finally:
+            if span is not None:
+                self._profiler.close(span)
             self._stack.pop()
             delta = self._stats.total - entry[0]
             exclusive = delta - entry[1]

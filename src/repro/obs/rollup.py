@@ -4,6 +4,16 @@ Rollups are updated on *every* event the tracer sees — they are never
 sampled — so the per-phase read/write totals always sum to the device's
 ``stats.total`` regardless of the ring buffer's capacity or the
 sampling rate.  Only the stored event stream is lossy.
+
+Phases nest, so there are two attribution views (see docs/model.md):
+
+* ``per_phase`` is **exclusive** — a charge counts only toward the
+  innermost open phase, so the per-phase totals (plus
+  :data:`UNATTRIBUTED`) sum exactly to the device total;
+* ``per_phase_inclusive`` charges every *distinct* label on the open
+  phase stack, so an outer phase's row answers "how much I/O happened
+  while this phase was open, children included".  Inclusive rows
+  overlap and do **not** sum to the total.
 """
 
 from __future__ import annotations
@@ -42,24 +52,35 @@ class Rollups:
         self.io = IOBreakdown()
         self.per_file: dict[str, IOBreakdown] = {}
         self.per_phase: dict[str, IOBreakdown] = {}
+        self.per_phase_inclusive: dict[str, IOBreakdown] = {}
         self.cache: dict[str, int] = {k: 0 for k in
                                       ("hits", "misses", "evictions",
                                        "writebacks")}
         self.mem_peak = 0
 
-    def record_io(self, kind: str, file: str, phase: str | None) -> None:
-        """Fold one physical read/write into every aggregate."""
+    def record_io(self, kind: str, file: str,
+                  phases: tuple[str, ...]) -> None:
+        """Fold one physical read/write into every aggregate.
+
+        ``phases`` is the open phase stack, outermost first; empty
+        means the charge is outside every phase.  The innermost label
+        gets the exclusive charge; every distinct label on the stack
+        gets an inclusive one (a label open twice through recursion is
+        charged once, not twice).
+        """
+        is_read = kind == "read"
         by_file = self.per_file.setdefault(file, IOBreakdown())
         by_phase = self.per_phase.setdefault(
-            phase if phase is not None else UNATTRIBUTED, IOBreakdown())
-        if kind == "read":
-            self.io.reads += 1
-            by_file.reads += 1
-            by_phase.reads += 1
-        else:
-            self.io.writes += 1
-            by_file.writes += 1
-            by_phase.writes += 1
+            phases[-1] if phases else UNATTRIBUTED, IOBreakdown())
+        targets = [self.io, by_file, by_phase]
+        for label in (set(phases) if phases else (UNATTRIBUTED,)):
+            targets.append(self.per_phase_inclusive.setdefault(
+                label, IOBreakdown()))
+        for t in targets:
+            if is_read:
+                t.reads += 1
+            else:
+                t.writes += 1
 
     def record_cache(self, kind: str) -> None:
         # Event kinds are singular; keep the plural keys CacheStats uses.
@@ -75,6 +96,9 @@ class Rollups:
             "io": self.io.as_dict(),
             "per_phase": {k: v.as_dict() for k, v in
                           sorted(self.per_phase.items())},
+            "per_phase_inclusive": {k: v.as_dict() for k, v in
+                                    sorted(
+                                        self.per_phase_inclusive.items())},
             "per_file": {k: v.as_dict() for k, v in
                          sorted(self.per_file.items())},
             "cache": dict(self.cache),
@@ -85,5 +109,6 @@ class Rollups:
         self.io = IOBreakdown()
         self.per_file.clear()
         self.per_phase.clear()
+        self.per_phase_inclusive.clear()
         self.cache = {k: 0 for k in self.cache}
         self.mem_peak = 0

@@ -52,14 +52,14 @@ class Tracer:
     def on_read(self, file: str, page: int) -> None:
         """One physical page read was charged."""
         phase = self._phase_stack[-1] if self._phase_stack else None
-        self.rollups.record_io("read", file, phase)
+        self.rollups.record_io("read", file, tuple(self._phase_stack))
         self._store(TraceEvent(self._seen, "read", file=file, page=page,
                                phase=phase), sampled=True)
 
     def on_write(self, file: str, page: int) -> None:
         """One physical page write was charged."""
         phase = self._phase_stack[-1] if self._phase_stack else None
-        self.rollups.record_io("write", file, phase)
+        self.rollups.record_io("write", file, tuple(self._phase_stack))
         self._store(TraceEvent(self._seen, "write", file=file, page=page,
                                phase=phase), sampled=True)
 

@@ -116,12 +116,27 @@ class TestRunJson:
                           str(trace_path))
         lines = [json.loads(line) for line in
                  trace_path.read_text().splitlines()]
-        assert p["trace"] == {"events": len(lines),
-                              "path": str(trace_path)}
+        assert p["trace"]["events"] == len(lines)
+        assert p["trace"]["path"] == str(trace_path)
         reads = sum(1 for e in lines if e["kind"] == "read")
         writes = sum(1 for e in lines if e["kind"] == "write")
         assert reads == p["io"]["reads"]
         assert writes == p["io"]["writes"]
+
+    def test_trace_section_reports_loss_honestly(self, csv_tables,
+                                                 capsys):
+        """The JSON trace section admits what the ring buffer lost."""
+        trace_path = csv_tables / "trace.jsonl"
+        p = self._payload(csv_tables, capsys, "--trace",
+                          str(trace_path), "--trace-sample", "5",
+                          "--trace-buffer", "4")
+        t = p["trace"]
+        for key in ("seen", "stored", "sampled_out", "overwritten"):
+            assert t[key] >= 0
+        assert t["stored"] == t["events"] <= 4
+        assert t["sampled_out"] > 0
+        assert t["seen"] == (t["stored"] + t["sampled_out"]
+                             + t["overwritten"])
 
     def test_trace_summary_sums_to_total(self, csv_tables, capsys):
         p = self._payload(csv_tables, capsys, "--trace-summary")
@@ -160,6 +175,106 @@ class TestRunJson:
                    "--trace-summary", "--trace-sample", "0"])
         assert rc == 2
         assert "--trace-sample" in capsys.readouterr().err
+
+
+class TestRunProfile:
+    def _payload(self, csv_tables, capsys, *extra):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "-M", "64", "-B", "8", "--json", *extra])
+        assert rc == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_profile_writes_perfetto_json(self, csv_tables, capsys):
+        prof_path = csv_tables / "prof.json"
+        p = self._payload(csv_tables, capsys, "--profile",
+                          str(prof_path))
+        doc = json.loads(prof_path.read_text())
+        assert len(doc["traceEvents"]) == p["profile"]["events"]
+        assert p["profile"]["path"] == str(prof_path)
+        for e in doc["traceEvents"]:
+            assert e["ph"] == "X" and e["pid"] == 1 and e["tid"] == 1
+        # Spans reconcile to the device total, and profiling did not
+        # perturb the counters relative to a bare run.
+        assert p["profile"]["attributed_io"] + \
+            p["profile"]["unattributed_io"] == p["io"]["total"]
+        bare = self._payload(csv_tables, capsys)
+        assert bare["io"] == p["io"]
+
+    def test_profile_counts_emitted_tuples(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys, "--profile",
+                          str(csv_tables / "prof.json"))
+        assert p["profile"]["tuples_produced"] == p["results"] == 4
+
+    def test_metrics_in_json_payload(self, csv_tables, capsys):
+        p = self._payload(csv_tables, capsys, "--metrics")
+        assert p["metrics"]["histograms"]["sort.run_tuples"]["count"] > 0
+        assert "planner.dispatch.two-relation" in p["metrics"]["counters"]
+
+    def test_metrics_out_writes_prometheus_text(self, csv_tables,
+                                                capsys):
+        met_path = csv_tables / "metrics.prom"
+        p = self._payload(csv_tables, capsys, "--metrics-out",
+                          str(met_path))
+        assert p["metrics_path"] == str(met_path)
+        text = met_path.read_text()
+        assert "# TYPE repro_sort_run_tuples histogram" in text
+        assert "repro_sort_run_tuples_count" in text
+
+    def test_profile_prose_line(self, csv_tables, capsys):
+        rc = main(["run",
+                   "--query", "follows(src, dst), lives(dst, city)",
+                   "--table", f"follows={csv_tables}/follows.csv",
+                   "--table", f"lives={csv_tables}/lives.csv",
+                   "--profile", str(csv_tables / "p.json"),
+                   "--metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "profile     :" in out and "attributed" in out
+        assert "metrics     :" in out
+
+
+class TestFitCommand:
+    def test_fit_two_relations_json(self, capsys):
+        rc = main(["fit", "two_relations", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        p = json.loads(out)
+        assert p["regression"] is False
+        (fit,) = p["fits"]
+        assert fit["class"] == "two_relations"
+        assert 0.5 <= fit["constant"] <= 2.0
+        assert abs(fit["slope"] - 1.0) <= fit["eps"]
+        assert len(fit["points"]) == 3
+
+    def test_fit_prose_and_custom_sweep(self, capsys):
+        rc = main(["fit", "two_relations", "--points", "32", "64",
+                   "-M", "16", "-B", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "two_relations" in out and "slope=" in out
+        assert "[ok]" in out
+
+    def test_fit_writes_profile(self, tmp_path, capsys):
+        prof = tmp_path / "fit.json"
+        rc = main(["fit", "two_relations", "--profile", str(prof)])
+        assert rc == 0
+        doc = json.loads(prof.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "fit:two_relations" in names
+
+    def test_fit_tight_eps_flags_regression(self, capsys):
+        """With eps ~ 0 any real sweep's slope trips the gate."""
+        rc = main(["fit", "star", "--eps", "0.0001"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSION" in out
+
+    def test_fit_rejects_unknown_class(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fit", "bogus"])
 
 
 class TestAnalyze:

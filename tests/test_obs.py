@@ -141,6 +141,57 @@ class TestTracer:
             UNATTRIBUTED: IOBreakdown(reads=2).as_dict()}
 
 
+class TestInclusiveRollups:
+    def test_exclusive_sums_to_total_inclusive_overlaps(self):
+        device, tracer = traced_line3()
+        s = tracer.summary()
+        exclusive = sum(v["total"] for v in s["per_phase"].values())
+        assert exclusive == device.stats.total
+        # Inclusive rows overlap whenever phases nest, so their sum
+        # can only meet or exceed the exclusive partition.
+        inclusive = sum(v["total"] for v in
+                        s["per_phase_inclusive"].values())
+        assert inclusive >= exclusive
+
+    def test_inclusive_dominates_exclusive_per_label(self):
+        _, tracer = traced_line3()
+        s = tracer.summary()
+        assert set(s["per_phase"]) == set(s["per_phase_inclusive"])
+        for label, b in s["per_phase"].items():
+            inc = s["per_phase_inclusive"][label]
+            assert inc["reads"] >= b["reads"]
+            assert inc["writes"] >= b["writes"]
+
+    def test_nested_charge_goes_to_innermost_exclusively(self):
+        from repro.obs import Rollups
+
+        r = Rollups()
+        r.record_io("read", "f", ("outer", "inner"))
+        r.record_io("write", "f", ("outer",))
+        r.record_io("read", "f", ())
+        assert {k: v.total for k, v in r.per_phase.items()} == {
+            "inner": 1, "outer": 1, UNATTRIBUTED: 1}
+        assert {k: v.total for k, v in r.per_phase_inclusive.items()} \
+            == {"inner": 1, "outer": 2, UNATTRIBUTED: 1}
+
+    def test_recursive_label_charged_once_inclusively(self):
+        from repro.obs import Rollups
+
+        r = Rollups()
+        r.record_io("read", "f", ("sort", "merge", "sort"))
+        assert r.per_phase["sort"].reads == 1
+        assert r.per_phase_inclusive["sort"].reads == 1
+        assert r.per_phase_inclusive["merge"].reads == 1
+
+    def test_reset_clears_inclusive_view(self):
+        from repro.obs import Rollups
+
+        r = Rollups()
+        r.record_io("read", "f", ("p",))
+        r.reset()
+        assert r.per_phase_inclusive == {}
+
+
 class TestBaseline:
     def doc(self):
         return {"classes": {
