@@ -18,7 +18,7 @@ and ``repro.obs.baseline``)::
 
 Slope mode guards the *shape* of the cost curves rather than the raw
 counts: it refits the hidden constants of the Table-1 bounds over the
-standard sweeps (``repro.obs.boundcheck``) and fails when any class's
+standard sweeps (``repro.analysis.fitting``) and fails when any class's
 measured I/O grows superlinearly in its bound::
 
     # CI: fail (exit 1) when a log-log slope exceeds 1 + eps
@@ -145,7 +145,7 @@ def check_baseline_cmd(path: Path, trace_path: str | None) -> int:
 
 
 def _fit_all() -> list:
-    from repro.obs import FIT_CLASSES, fit_class
+    from repro.analysis import FIT_CLASSES, fit_class
 
     return [fit_class(name) for name in sorted(FIT_CLASSES)]
 

@@ -1,4 +1,5 @@
-"""Analysis: subjoin/partial-join sizes, Ψ/ψ, Table 1 bounds, certificates."""
+"""Analysis: subjoin/partial-join sizes, Ψ/ψ, Table 1 bounds, certificates,
+and empirical bound fitting (:mod:`repro.analysis.fitting`)."""
 
 from repro.analysis.bounds import (agm_internal_bound, equal_size_bound,
                                    line3_bound, line4_bound,
@@ -9,6 +10,8 @@ from repro.analysis.bounds import (agm_internal_bound, equal_size_bound,
                                    triangle_bound, two_relation_bound,
                                    worst_case_branch_bound, worst_case_psi,
                                    yannakakis_em_bound)
+from repro.analysis.fitting import (FIT_CLASSES, BoundTerm, FitPoint,
+                                    FitResult, fit_class, fit_loglog)
 from repro.analysis.optimality import Certificate, certify
 from repro.analysis.subjoin import (BoundReport, BranchBound, all_subsets,
                                     dominant_subsets, explain_bound,
@@ -28,4 +31,6 @@ __all__ = [
     "worst_case_psi", "worst_case_branch_bound",
     "agm_internal_bound",
     "Certificate", "certify",
+    "BoundTerm", "FitPoint", "FitResult", "FIT_CLASSES", "fit_loglog",
+    "fit_class",
 ]

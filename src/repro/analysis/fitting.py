@@ -18,10 +18,10 @@ linear ``(N1+N2)/B`` term) so the fit reports *which term dominates*
 at the swept sizes — small sweeps often sit in the linear-term regime,
 and a constant fitted there says nothing about the leading term.
 
-Module-level imports are stdlib-only on purpose: ``repro.em.device``
-imports this package, so everything from ``repro.core`` /
-``repro.workloads`` / ``repro.analysis`` is imported lazily inside the
-builders.
+This lives in ``analysis/`` (not ``obs/``) because the builders drive
+``repro.core`` algorithms: obs/ must stay passive (emlint EM003), while
+analysis/ sits above core/ and may orchestrate it.  Builder imports
+stay lazy so importing :mod:`repro.analysis` stays cheap.
 """
 
 from __future__ import annotations

@@ -1,6 +1,6 @@
 """Command-line interface: run and analyze joins from the shell.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run --query "R(a,b), S(b,c)" \\
         --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
@@ -14,6 +14,10 @@ Three subcommands::
 
     python -m repro fit two_relations line3 [--points 64 128 256] \\
         [-M 16 -B 4] [--eps 0.25] [--json] [--profile out.json]
+
+    python -m repro lint [paths ...] [--format human|json] \\
+        [--baseline lint-baseline.json] [--write-baseline] \\
+        [--list-rules]
 
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
@@ -34,7 +38,10 @@ summary — no data needed (sizes come from the ``[n]`` annotations).
 ``fit`` sweeps registered query classes against their Table 1 bounds,
 fits the hidden constant and the log-log slope, and exits non-zero on
 a complexity regression (slope > 1 + eps) — the CI hook next to the
-pinned-counter baseline check.
+pinned-counter baseline check.  ``lint`` runs ``emlint``, the
+AST-based model-discipline checker (see ``docs/model.md``): exit 0
+means every byte of I/O in the tree is accounted through the charged
+device API; exit 1 reports violations or stale baseline entries.
 """
 
 from __future__ import annotations
@@ -43,15 +50,16 @@ import argparse
 import json
 import sys
 
-from repro.analysis import certify
+from repro.analysis import FIT_CLASSES, certify, fit_class
 from repro.core import CollectingEmitter, execute
-from repro.em.bufferpool import PoolConfig
-from repro.em.policies import POLICIES
 from repro.data.io import dump_results_csv, instance_from_csv
+from repro.em.bufferpool import PoolConfig
 from repro.em.device import Device
-from repro.obs import (FIT_CLASSES, MetricsRegistry, ProfiledEmitter,
-                       SpanProfiler, Tracer, fit_class, to_prometheus,
-                       write_chrome_trace)
+from repro.em.policies import POLICIES
+from repro.lint import (RULES, Baseline, lint_paths, load_baseline,
+                        to_human, to_json, write_baseline)
+from repro.obs import (MetricsRegistry, ProfiledEmitter, SpanProfiler,
+                       Tracer, to_prometheus, write_chrome_trace)
 from repro.query import (fractional_edge_cover, gens_all,
                          is_berge_acyclic)
 from repro.query.parse import parse_query, parse_schemas
@@ -146,6 +154,30 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--profile", metavar="PATH",
                      help="profile the sweep and write a Chrome-trace/"
                           "Perfetto JSON file to PATH")
+
+    lint = sub.add_parser(
+        "lint", help="check the tree against the EM model discipline")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("human", "json"),
+                      default="human",
+                      help="report format (default human)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      default="lint-baseline.json",
+                      help="suppression baseline file (default "
+                           "lint-baseline.json; missing file = empty)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline file entirely")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept every current finding into the "
+                           "baseline file and exit 0 (fill in the "
+                           "TODO justifications before committing)")
+    lint.add_argument("--root", default=".",
+                      help="anchor for repo-relative report paths "
+                           "(default .)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule code with its summary "
+                           "and rationale, then exit")
     return parser
 
 
@@ -231,7 +263,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if profiler is not None:
         profile_events = write_chrome_trace(args.profile, profiler)
     if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+        # host-side metrics dump, not simulated-device I/O
+        with open(args.metrics_out, "w",  # emlint: disable=EM001
+                  encoding="utf-8") as fh:
             fh.write(to_prometheus(metrics))
 
     if args.json:
@@ -409,6 +443,39 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return 1 if regression else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for code, rule in sorted(RULES.items()):
+            print(f"{code} [{rule.name}] — {rule.summary}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    try:
+        baseline = (Baseline() if args.no_baseline
+                    else load_baseline(args.baseline))
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"lint: bad baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        found = lint_paths(args.paths, root=args.root)
+        new = Baseline.from_violations(found.violations)
+        write_baseline(new, args.baseline)
+        print(f"lint: wrote {len(new.entries)} entr(y|ies) covering "
+              f"{len(found.violations)} finding(s) to {args.baseline}")
+        return 0
+
+    result = lint_paths(args.paths, root=args.root, baseline=baseline)
+    if args.format == "json":
+        print(to_json(result, baseline_path=args.baseline))
+    else:
+        print(to_human(result, baseline_path=args.baseline))
+    # Stale baseline entries fail the run too: the baseline documents
+    # reality, and reality moved.
+    return 0 if result.clean and not result.stale_baseline else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -417,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_analyze(args)
     if args.command == "fit":
         return cmd_fit(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -22,18 +22,18 @@ from repro.core.acyclic import (BestRun, Plan, PlanRun, acyclic_join,
                                 plan_chooser, smallest_leaf_chooser)
 from repro.core.emit import (AssignmentEmitter, CallbackEmitter,
                              CollectingEmitter, CountingEmitter, Emitter)
+from repro.core.guided import (dumbbell_paper_chooser,
+                               lollipop_paper_chooser, priority_chooser)
 from repro.core.line3 import line3_join
-from repro.core.lw import detect_lw, lw_join, lw_query
 from repro.core.line5 import line5_unbalanced_join
 from repro.core.line7 import (line6_unbalanced_join, line7_cover11_join,
                               line7_unbalanced_join, line8_join,
                               line_join_auto, nlj_outer)
-from repro.core.guided import (dumbbell_paper_chooser,
-                               lollipop_paper_chooser, priority_chooser)
+from repro.core.lw import detect_lw, lw_join, lw_query
 from repro.core.planner import ExecutionReport, execute
+from repro.core.reducer_em import full_reduce_em
 from repro.core.trace import RecursionTrace, TraceEvent
 from repro.core.triangle import detect_triangle, triangle_join
-from repro.core.reducer_em import full_reduce_em
 from repro.core.twoway import nested_loop_join, sort_merge_join
 from repro.core.yannakakis_em import yannakakis_em
 

@@ -43,16 +43,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from repro.core.emit import Emitter
 from repro.data.instance import Instance
 from repro.data.relation import Relation
 from repro.em.device import Device
 from repro.em.loaders import (group_boundaries, load_chunks,
                               load_group_chunks, load_light_chunks,
                               split_heavy_light)
-from repro.core.emit import Emitter
 from repro.query.classify import (find_buds, find_islands, find_leaves,
                                   leaf_info)
 from repro.query.hypergraph import JoinQuery, require_berge_acyclic
+
+#: Phase names this module attributes I/O to (emlint EM006).
+PHASES = ("semijoin",)
 
 EmitFn = Callable[[Mapping[str, tuple]], None]
 Chooser = Callable[[JoinQuery, Instance], str]

@@ -33,6 +33,9 @@ from repro.data.relation import Relation
 from repro.em.loaders import load_chunks
 from repro.query.hypergraph import JoinQuery
 
+#: Phase names this module attributes I/O to (emlint EM006).
+PHASES = ("partition",)
+
 
 def detect_lw(query: JoinQuery) -> tuple[list[str], dict[str, str]] | None:
     """Recognize ``LW_n``: each edge omits exactly one attribute.
@@ -151,9 +154,12 @@ def _in_memory(query: JoinQuery, parts: list[tuple[str, Relation]],
                attrs: list[str], emitter: Emitter) -> None:
     """Backtracking join over memory-resident cell contents."""
     device = parts[0][1].device
-    tables = {e: list(rel.data.scan()) for e, rel in parts}
-    schemas = {e: rel.schema for e, rel in parts}
-    with device.memory.hold(sum(len(t) for t in tables.values())):
+    # Charge the gauge *before* materializing: tuple counts are free
+    # catalog metadata, and holding first keeps every resident tuple
+    # inside the charged region (emlint EM002).
+    with device.memory.hold(sum(len(rel) for _, rel in parts)):
+        tables = {e: list(rel.data.scan()) for e, rel in parts}
+        schemas = {e: rel.schema for e, rel in parts}
         # Bind attributes one at a time, narrowing candidate tuples —
         # a memory-local generic join over the cell.
         _backtrack(query, tables, schemas, attrs, 0, {}, emitter)

@@ -33,6 +33,9 @@ from repro.data.relation import Relation
 from repro.em.loaders import load_chunks
 from repro.query.hypergraph import JoinQuery
 
+#: Phase names this module attributes I/O to (emlint EM006).
+PHASES = ("partition",)
+
 
 def detect_triangle(query: JoinQuery) -> tuple[str, str, str] | None:
     """Recognize ``C3``: three binary edges pairwise sharing one attr.
@@ -179,10 +182,13 @@ def _in_memory(cell1: Relation, cell2: Relation, cell3: Relation,
                a: str, b: str, c: str, emitter: Emitter) -> None:
     """Load all three cells and enumerate triangles hash-style."""
     device = cell1.device
-    t1 = list(cell1.data.scan())
-    t2 = list(cell2.data.scan())
-    t3 = list(cell3.data.scan())
-    with device.memory.hold(len(t1) + len(t2) + len(t3)):
+    # Charge the gauge *before* materializing: tuple counts are free
+    # catalog metadata, and holding first keeps every resident tuple
+    # inside the charged region (emlint EM002).
+    with device.memory.hold(len(cell1) + len(cell2) + len(cell3)):
+        t1 = list(cell1.data.scan())
+        t2 = list(cell2.data.scan())
+        t3 = list(cell3.data.scan())
         i1a = cell1.schema.index(a)
         i1b = cell1.schema.index(b)
         i2b = cell2.schema.index(b)

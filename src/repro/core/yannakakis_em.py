@@ -19,10 +19,10 @@ from __future__ import annotations
 
 from repro.core.emit import CallbackEmitter, Emitter
 from repro.core.reducer_em import full_reduce_em
+from repro.core.twoway import sort_merge_join
 from repro.data.instance import Instance
 from repro.data.relation import Relation
 from repro.data.schema import RelationSchema
-from repro.core.twoway import sort_merge_join
 from repro.query.hypergraph import JoinQuery, require_berge_acyclic
 from repro.query.reduce import elimination_order
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 
 class MemoryBudgetExceeded(RuntimeError):
@@ -53,7 +54,7 @@ class CacheStats:
         """Fraction of logical reads served without an I/O."""
         return self.hits / self.logical_reads if self.logical_reads else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """Counters plus derived rates, for reports and ``--json``."""
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
@@ -121,7 +122,7 @@ class IOStats:
         return self._suspended > 0
 
     @contextlib.contextmanager
-    def suspend(self):
+    def suspend(self) -> Iterator[None]:
         """Suspend all charging for the enclosed scope (re-entrant)."""
         self._suspended += 1
         try:
@@ -183,12 +184,12 @@ class PhaseTracker:
         self.totals: dict[str, int] = {}
         self._stack: list[list[int]] = []
         # Set by Device.attach_tracer; observes enter/exit, never counts.
-        self._tracer = None
+        self._tracer: Any = None
         # Set by Device.attach_profiler; every phase opens a span.
-        self._profiler = None
+        self._profiler: Any = None
 
     @contextlib.contextmanager
-    def phase(self, label: str):
+    def phase(self, label: str) -> Iterator[None]:
         entry = [self._stats.total, 0]     # [start, child I/O]
         self._stack.append(entry)
         if self._tracer is not None:
@@ -239,8 +240,8 @@ class MemoryGauge:
     current: int = 0
     peak: int = 0
     # Set by Device.attach_tracer; observes peak growth, never counts.
-    _tracer: object = field(default=None, init=False, repr=False,
-                            compare=False)
+    _tracer: Any = field(default=None, init=False, repr=False,
+                         compare=False)
 
     @property
     def limit(self) -> float:
@@ -274,7 +275,7 @@ class MemoryGauge:
             raise ValueError("released more tuples than were held")
 
     @contextlib.contextmanager
-    def hold(self, n: int):
+    def hold(self, n: int) -> Iterator[None]:
         """Context manager charging ``n`` tuples for the enclosed scope."""
         self.charge(n)
         try:

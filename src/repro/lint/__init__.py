@@ -1,0 +1,44 @@
+"""``emlint`` — the EM-model discipline checker.
+
+Every number this reproduction reports (Table 1 rows, fitted
+constants, the pinned ``BENCH_table1.json`` baseline) is only
+meaningful if all data movement in the algorithm layer flows through
+the charged :class:`~repro.em.device.Device` / EMFile API and all
+in-memory state is policed by the
+:class:`~repro.em.stats.MemoryGauge`.  This package enforces that
+contract mechanically: a self-contained AST pass (stdlib only) with a
+rule registry, per-rule codes, ``# emlint: disable=EM0xx`` pragma
+support, a committed suppression baseline, JSON and human reporters,
+and a ``repro lint`` CLI subcommand that exits non-zero on
+violations.
+
+Rules (see :data:`~repro.lint.registry.RULES` for the full text):
+
+=======  ============================================================
+EM001    no raw OS I/O outside ``em/`` and ``data/io.py``
+EM002    no unbounded materialization of EM scans in ``core/``
+         outside a ``MemoryGauge``-charged region
+EM003    layering: ``em`` ↛ ``core``/``query``, ``core`` ↛
+         ``internal``, ``obs`` ↛ ``core``
+EM004    no wall-clock or randomness in counted paths (``core/``,
+         ``em/``)
+EM005    ``suspend()`` / ``span()`` / ``phase()`` must be ``with``
+         statements, never discarded bare calls
+EM006    ``core/`` modules passing phase-name literals must declare
+         them in a module-level ``PHASES`` tuple
+=======  ============================================================
+"""
+
+from repro.lint.baseline import (Baseline, BaselineEntry, load_baseline,
+                                 write_baseline)
+from repro.lint.registry import RULES, Rule
+from repro.lint.report import REPORT_SCHEMA_VERSION, to_human, to_json
+from repro.lint.visitor import (LintResult, Violation, check_source,
+                                lint_paths)
+
+__all__ = [
+    "RULES", "Rule",
+    "Violation", "LintResult", "check_source", "lint_paths",
+    "Baseline", "BaselineEntry", "load_baseline", "write_baseline",
+    "to_human", "to_json", "REPORT_SCHEMA_VERSION",
+]

@@ -16,8 +16,6 @@ where those transfers come from.  This subpackage provides:
 * :class:`MetricsRegistry` — named counters/gauges/histograms the
   instrumented code populates for free when metrics are off
   (:data:`NULL_METRICS`);
-* :mod:`~repro.obs.boundcheck` — sweeps that fit the hidden constants
-  of the Table 1 bounds and flag complexity regressions;
 * :mod:`~repro.obs.baseline` — pinned benchmark baselines
   (``BENCH_table1.json``) and the drift comparator CI runs.
 
@@ -30,8 +28,6 @@ never make them.
 
 from repro.obs.baseline import (compare_baselines, load_baseline,
                                 write_baseline)
-from repro.obs.boundcheck import (FIT_CLASSES, BoundTerm, FitPoint,
-                                  FitResult, fit_class, fit_loglog)
 from repro.obs.events import (CACHE_KINDS, EVENT_KINDS, IO_KINDS,
                               TraceEvent)
 from repro.obs.export import (to_chrome_trace, to_prometheus,
@@ -52,6 +48,4 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetrics",
     "NULL_METRICS", "DEFAULT_BUCKETS",
     "to_chrome_trace", "write_chrome_trace", "to_prometheus",
-    "BoundTerm", "FitPoint", "FitResult", "FIT_CLASSES", "fit_loglog",
-    "fit_class",
 ]

@@ -33,7 +33,8 @@ def write_baseline(path, classes: dict, *, meta: dict | None = None) -> dict:
     doc = {"schema_version": SCHEMA_VERSION,
            "meta": dict(meta or {}),
            "classes": classes}
-    with open(path, "w", encoding="utf-8") as fh:
+    # host-side baseline file, not simulated-device I/O
+    with open(path, "w", encoding="utf-8") as fh:  # emlint: disable=EM001
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return doc
@@ -41,7 +42,8 @@ def write_baseline(path, classes: dict, *, meta: dict | None = None) -> dict:
 
 def load_baseline(path) -> dict:
     """Load a baseline document, validating the schema envelope."""
-    with open(path, "r", encoding="utf-8") as fh:
+    # host-side baseline file, not simulated-device I/O
+    with open(path, "r", encoding="utf-8") as fh:  # emlint: disable=EM001
         doc = json.load(fh)
     version = doc.get("schema_version")
     if version != SCHEMA_VERSION:

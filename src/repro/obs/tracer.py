@@ -112,7 +112,8 @@ class Tracer:
     def export_jsonl(self, path) -> int:
         """Write the buffered events as JSON Lines; return the count."""
         events = self.events()
-        with open(path, "w", encoding="utf-8") as fh:
+        # host-side JSONL export, not simulated-device I/O
+        with open(path, "w", encoding="utf-8") as fh:  # emlint: disable=EM001
             for e in events:
                 fh.write(json.dumps(e.as_dict(), sort_keys=False))
                 fh.write("\n")

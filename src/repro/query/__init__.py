@@ -14,10 +14,10 @@ from repro.query.covers import (EdgeCover, GreedyCover, agm_bound,
                                 greedy_minimum_edge_cover,
                                 optimal_integral_cover)
 from repro.query.gens import gens_all, gens_one, remove_safely_dominated
-from repro.query.parse import (QueryParseError, format_query, parse_query,
-                               parse_schemas)
 from repro.query.hypergraph import (CyclicQueryError, JoinQuery,
                                     is_berge_acyclic, require_berge_acyclic)
+from repro.query.parse import (QueryParseError, format_query, parse_query,
+                               parse_schemas)
 from repro.query.lines import (LineClassification, alternating_intervals,
                                balanced_split, balanced_violations,
                                classify_line, independent_subsets,

@@ -1,0 +1,3 @@
+"""Known-bad fixture: unparseable file (emlint EM000)."""
+
+def broken(:

@@ -1,0 +1,5 @@
+"""Known-bad fixture: scan materialized outside a hold (EM002)."""
+
+
+def slurp(rel):
+    return list(rel.data.scan())

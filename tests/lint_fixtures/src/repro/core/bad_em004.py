@@ -1,0 +1,7 @@
+"""Known-bad fixture: wall-clock in a counted path (EM004)."""
+
+import time
+
+
+def stamp():
+    return time.monotonic()

@@ -1,0 +1,6 @@
+"""Known-bad fixture: phase literal with no PHASES declaration (EM006)."""
+
+
+def run(device):
+    with device.phases.phase("sort"):
+        pass

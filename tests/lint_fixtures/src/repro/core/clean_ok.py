@@ -1,0 +1,12 @@
+"""Fixture: fully compliant core module (no findings expected)."""
+
+#: Phase names this module attributes I/O to (emlint EM006).
+PHASES = ("load",)
+
+
+def load(rel):
+    device = rel.device
+    with device.phases.phase("load"):
+        with device.memory.hold(len(rel)):
+            rows = list(rel.data.scan())
+    return rows

@@ -1,0 +1,5 @@
+"""Fixture: a violation silenced by a same-line pragma."""
+
+
+def slurp(rel):
+    return list(rel.data.scan())  # emlint: disable=EM002

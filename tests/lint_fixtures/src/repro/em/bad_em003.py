@@ -1,0 +1,7 @@
+"""Known-bad fixture: the machine importing an algorithm (EM003)."""
+
+from repro.core import execute
+
+
+def run(query, instance, emitter):
+    return execute(query, instance, emitter)

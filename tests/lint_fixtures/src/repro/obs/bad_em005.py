@@ -1,0 +1,6 @@
+"""Known-bad fixture: context-manager factory called bare (EM005)."""
+
+
+def pause(stats):
+    stats.suspend()
+    return stats

@@ -1,0 +1,6 @@
+"""Known-bad fixture: raw OS I/O outside em/ and data/io.py (EM001)."""
+
+
+def leak(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()

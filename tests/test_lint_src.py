@@ -1,0 +1,50 @@
+"""The load-bearing test: the real tree passes its own discipline.
+
+Every byte of I/O in ``src/repro`` is accounted: the committed
+baseline is empty, so a clean run here means zero violations — not
+zero *new* violations — and any regression (a raw ``open()``, a layer
+inversion, an uncharged materialization) fails CI by name.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, load_baseline
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+BASELINE = ROOT / "lint-baseline.json"
+
+
+def test_committed_baseline_is_empty():
+    doc = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert doc["entries"] == [], (
+        "lint-baseline.json has accepted violations; fix them or "
+        "justify each entry in the PR")
+
+
+def test_src_tree_is_clean_under_committed_baseline():
+    result = lint_paths([SRC], root=ROOT,
+                        baseline=load_baseline(BASELINE))
+    assert result.clean, "\n".join(v.render() for v in result.violations)
+    assert result.stale_baseline == []
+    assert result.files_checked > 50
+
+
+@pytest.mark.parametrize("layer", ["em", "core", "obs", "query", "data",
+                                   "analysis", "internal", "workloads",
+                                   "lint"])
+def test_layer_has_zero_violations(layer):
+    """Per-layer zero-violation assertion (no baseline crutch)."""
+    result = lint_paths([SRC / "repro" / layer], root=ROOT)
+    assert result.clean, "\n".join(v.render() for v in result.violations)
+
+
+def test_pragma_suppressions_are_few_and_only_em001():
+    """Pragmas are reserved for host-side report writers (EM001)."""
+    result = lint_paths([SRC], root=ROOT)
+    codes = {v.code for v in result.suppressed_by_pragma}
+    assert codes <= {"EM001"}
+    assert len(result.suppressed_by_pragma) <= 8

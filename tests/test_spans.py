@@ -7,12 +7,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Device, Instance, line_query
+from repro.analysis import FIT_CLASSES, fit_class, fit_loglog
+from repro.analysis.fitting import BoundTerm, FitPoint, FitResult
 from repro.core import CountingEmitter, line3_join
-from repro.obs import (DEFAULT_BUCKETS, FIT_CLASSES, Histogram,
-                       MetricsRegistry, NULL_METRICS, NULL_SPAN,
-                       ProfiledEmitter, SpanProfiler, fit_class,
-                       fit_loglog, to_chrome_trace, to_prometheus)
-from repro.obs.boundcheck import BoundTerm, FitPoint, FitResult
+from repro.obs import (DEFAULT_BUCKETS, Histogram, MetricsRegistry,
+                       NULL_METRICS, NULL_SPAN, ProfiledEmitter,
+                       SpanProfiler, to_chrome_trace, to_prometheus)
 from repro.workloads import fig3_line3_instance
 
 

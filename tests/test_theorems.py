@@ -9,9 +9,9 @@ worst-case optimality up to the Õ's constants and log factor.
 import pytest
 
 from repro import Device, Instance
+from repro.analysis import gens_bound, lower_bound
 from repro.core import (CountingEmitter, acyclic_join_best, line3_join,
                         line5_unbalanced_join)
-from repro.analysis import gens_bound, lower_bound
 from repro.query import cover_number, line_query, star_query
 from repro.workloads import (cross_product_line_instance,
                              equal_size_packing_instance,
