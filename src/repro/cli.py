@@ -17,7 +17,7 @@ Four subcommands::
 
     python -m repro lint [paths ...] [--format human|json] \\
         [--baseline lint-baseline.json] [--write-baseline] \\
-        [--list-rules]
+        [--list-rules] [--effects signatures.json]
 
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
@@ -42,6 +42,9 @@ pinned-counter baseline check.  ``lint`` runs ``emlint``, the
 AST-based model-discipline checker (see ``docs/model.md``): exit 0
 means every byte of I/O in the tree is accounted through the charged
 device API; exit 1 reports violations or stale baseline entries.
+``--effects PATH`` additionally dumps the interprocedural
+effect-signature table (the emflow fixpoint behind EM007–EM011) as a
+versioned JSON document — the CI artifact next to the lint report.
 """
 
 from __future__ import annotations
@@ -178,10 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print every rule code with its summary "
                            "and rationale, then exit")
+    lint.add_argument("--effects", metavar="PATH",
+                      help="write the inferred per-function effect-"
+                           "signature table (versioned JSON) to PATH, "
+                           "or '-' for stdout")
     return parser
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def cmd_run(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- CLI entry point: loads CSVs and writes reports on the host; the measured run happens inside execute()
     query = parse_query(args.query)
     layouts = parse_schemas(args.query)
     tables = {}
@@ -246,7 +253,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     cert = None
     if args.certificate:
-        data = {e: list(instance[e].peek_tuples()) for e in query.edges}
+        # The certificate check re-reads every relation host-side to
+        # compute the information-theoretic lower bound; suspend the
+        # counters so this audit step is *explicitly* outside the
+        # measured run rather than a silent peek at the model's edge.
+        with device.stats.suspend():
+            data = {e: list(instance[e].peek_tuples())
+                    for e in query.edges}
         schemas = instance.schemas()
         cert = certify(query, data, schemas, args.M, args.B, report.io)
 
@@ -443,7 +456,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return 1 if regression else 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the checker reads sources and writes reports on the host
     if args.list_rules:
         for code, rule in sorted(RULES.items()):
             print(f"{code} [{rule.name}] — {rule.summary}")
@@ -467,6 +480,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     result = lint_paths(args.paths, root=args.root, baseline=baseline)
+    if args.effects:
+        table = json.dumps(result.signatures, indent=2,
+                           sort_keys=False)
+        if args.effects == "-":
+            print(table)
+        else:
+            # host-side analysis artifact, not simulated-device I/O
+            with open(args.effects, "w",  # emlint: disable=EM001
+                      encoding="utf-8") as fh:
+                fh.write(table + "\n")
     if args.format == "json":
         print(to_json(result, baseline_path=args.baseline))
     else:

@@ -589,7 +589,7 @@ def acyclic_join_best(query: JoinQuery, instance: Instance,
     return BestRun(runs=tuple(runs), best_index=best_index)
 
 
-def clone_instance(instance: Instance,
+def clone_instance(instance: Instance,  # em-effects: FREE_PEEK -- re-creates pre-existing inputs on a fresh device; the copy models "the input is already on disk", so reading it must not bill the candidate run
                    M: int | None = None, B: int | None = None
                    ) -> tuple[Device, Instance]:
     """Copy an instance onto a fresh device (inputs written free)."""

@@ -20,7 +20,7 @@ from repro.data.schema import RelationSchema
 from repro.em.device import Device
 
 
-def load_csv(device: Device, path: str | Path, name: str, *,
+def load_csv(device: Device, path: str | Path, name: str, *,  # em-effects: HOST_ONLY -- the CSV bridge reads host files once, before the measured run
              attributes: tuple[str, ...] | None = None,
              delimiter: str = ",", header: bool = True) -> Relation:
     """Load one delimited file as a relation named ``name``.
@@ -88,7 +88,7 @@ def _is_float(s: str) -> bool:
         return False
 
 
-def instance_from_csv(device: Device,
+def instance_from_csv(device: Device,  # em-effects: HOST_ONLY -- the CSV bridge reads host files once, before the measured run
                       tables: Mapping[str, str | Path], *,
                       delimiter: str = ",",
                       header: bool = True) -> Instance:
@@ -99,7 +99,7 @@ def instance_from_csv(device: Device,
     return Instance(rels)
 
 
-def dump_results_csv(results: Iterable[Mapping[str, tuple]],
+def dump_results_csv(results: Iterable[Mapping[str, tuple]],  # em-effects: HOST_ONLY -- result export writes host files after the measured run
                      schemas: Mapping[str, tuple[str, ...]],
                      path: str | Path, *, delimiter: str = ",") -> int:
     """Write emit-model results as one flat CSV of attribute values.

@@ -116,7 +116,7 @@ def _merge_once(device: Device, runs: list[EMFile], key: Key,
     return out
 
 
-def is_sorted(source: EMFile | FileSegment, key: Key) -> bool:
+def is_sorted(source: EMFile | FileSegment, key: Key) -> bool:  # em-effects: FREE_PEEK -- sortedness oracle for tests; never on a counted path
     """Check sortedness **without charging I/O** (test helper)."""
     tuples = source.peek_tuples()
     return all(key(tuples[i]) <= key(tuples[i + 1])

@@ -62,9 +62,10 @@ _register(Rule(
 _register(Rule(
     code="EM002",
     name="unbounded-materialization",
-    summary="list/sorted/set/dict/tuple over an EM scan in core/ "
-            "outside a MemoryGauge-charged region",
-    layers=("core",),
+    summary="list/sorted/set/dict/tuple over an EM scan in core/, "
+            "query/, or analysis/ outside a MemoryGauge-charged "
+            "region",
+    layers=("core", "query", "analysis"),
     rationale="Materializing a scan pulls a disk-resident file into "
               "memory without charging the MemoryGauge, so the "
               "paper's M-bounded memory budget is silently violated "
@@ -120,4 +121,74 @@ _register(Rule(
               "in one greppable PHASES constant per module keeps the "
               "set auditable and catches typos that would silently "
               "split a phase's attribution.",
+))
+
+_register(Rule(
+    code="EM007",
+    name="transitive-raw-io",
+    summary="a counted-layer function reaches open/os.* through its "
+            "call chain (interprocedural EM001)",
+    layers=(),
+    rationale="A helper that wraps open() two calls deep launders "
+              "raw OS I/O past the intraprocedural EM001: the bytes "
+              "still move without being charged to the Device.  The "
+              "effect fixpoint makes the ban transitive, so the only "
+              "sanctioned escape is an explicit `# em-effects: "
+              "HOST_ONLY` declaration on the host-side entry point.",
+))
+
+_register(Rule(
+    code="EM008",
+    name="peek-from-core",
+    summary="peek_tuples() reachable from core/ algorithm code",
+    layers=("core",),
+    rationale="peek_tuples() reads tuples without charging a single "
+              "block transfer — it exists for free metadata (run "
+              "formation in em/sort.py, test oracles).  An algorithm "
+              "that reaches it gets input bytes for free and its "
+              "measured I/O no longer bounds the paper's cost.  "
+              "Sanctioned uses carry `# em-effects: FREE_PEEK -- "
+              "why` as a permanent audit record.",
+))
+
+_register(Rule(
+    code="EM009",
+    name="observer-purity",
+    summary="obs/ record paths must be effect-free on device "
+            "counters (no PHYS_IO / MATERIALIZES)",
+    layers=("obs",),
+    rationale="The tracer/profiler promise byte-identical counters "
+              "when enabled (baseline-checked).  An observer that "
+              "transitively opens files or materializes scans would "
+              "perturb the very counts it reports; host-side export "
+              "writers are declared HOST_ONLY, which also bars them "
+              "from counted paths (EM011).",
+))
+
+_register(Rule(
+    code="EM010",
+    name="transitive-nondeterminism",
+    summary="wall-clock or randomness reachable from a counted path "
+            "(interprocedural EM004)",
+    layers=("core", "em"),
+    rationale="EM004 catches `import time` in core/ and em/, but a "
+              "helper in an unpoliced layer can smuggle the same "
+              "nondeterminism in through a call.  The byte-identical "
+              "baseline gate needs the whole call graph under a "
+              "counted path to be deterministic, not just its top "
+              "frame.",
+))
+
+_register(Rule(
+    code="EM011",
+    name="effect-declaration",
+    summary="em-effects declaration errors: unknown effect names, "
+            "drifted declarations, counted paths calling HOST_ONLY "
+            "functions",
+    layers=(),
+    rationale="Declarations are audit records, so they must stay "
+              "true: a declared effect the fixpoint no longer infers "
+              "is documentation rot, and a core/ or em/ function "
+              "calling into HOST_ONLY reporting would put uncounted "
+              "host work under the algorithms the paper measures.",
 ))

@@ -42,8 +42,9 @@ RAW_IO_METHODS = frozenset(
 RAW_IO_EXEMPT_LAYERS = frozenset({"em", "lint"})
 RAW_IO_EXEMPT_FILES = frozenset({"data/io.py"})
 
-#: Layers the EM002 materialization rule polices.
-EM002_LAYERS = frozenset({"core"})
+#: Layers the EM002 materialization rule polices: anywhere EM scans
+#: are consumed by algorithm or analysis code.
+EM002_LAYERS = frozenset({"core", "query", "analysis"})
 
 #: Layers counted paths live in (EM004).
 EM004_LAYERS = frozenset({"core", "em"})

@@ -40,7 +40,7 @@ class Counter:
             raise ValueError(f"counter increment must be >= 0, got {n}")
         self.value += n
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {"value": self.value}
 
 
@@ -64,7 +64,7 @@ class Gauge:
         if value < self.min:
             self.min = value
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         if not self.updates:
             return {"value": 0, "max": 0, "min": 0, "updates": 0}
         return {"value": self.value, "max": self.max, "min": self.min,
@@ -115,7 +115,7 @@ class Histogram:
         out.sum = self.sum + other.sum
         return out
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         # Only non-empty buckets, keyed by upper bound (stringified so
         # the dict is JSON-ready); "+inf" is the overflow bucket.
         labels = [_fmt_bound(b) for b in self.buckets] + ["+inf"]
@@ -163,7 +163,7 @@ class MetricsRegistry:
         yield from self._gauges.values()
         yield from self._histograms.values()
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """All instruments, JSON-ready, sorted by name."""
         return {
             "counters": {k: v.as_dict() for k, v in
@@ -210,10 +210,12 @@ class NullMetrics:
     def gauge(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> _NullInstrument:
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def reset(self) -> None:

@@ -109,7 +109,7 @@ class Tracer:
         out.update(self.rollups.as_dict())
         return out
 
-    def export_jsonl(self, path) -> int:
+    def export_jsonl(self, path) -> int:  # em-effects: HOST_ONLY -- trace export writes to the host filesystem after the measured run
         """Write the buffered events as JSON Lines; return the count."""
         events = self.events()
         # host-side JSONL export, not simulated-device I/O

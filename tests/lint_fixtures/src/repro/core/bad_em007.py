@@ -1,0 +1,13 @@
+"""Fixture: algorithm code laundering raw I/O through em/ helpers.
+
+``load`` never mentions ``open`` — the raw I/O is two calls deep
+(``read_all`` → ``read_blob`` → ``open``), so the intraprocedural
+EM001 passes this file.  Only the whole-program effect fixpoint
+(EM007) sees the PHYS_IO reaching a counted-layer function.
+"""
+
+from repro.em.io_helpers import read_all
+
+
+def load(path):
+    return read_all(path)

@@ -1,0 +1,12 @@
+"""Fixture: nondeterminism smuggled into a counted path by a call.
+
+No ``import time`` here, so the intraprocedural EM004 passes — the
+wall-clock arrives through ``repro.obs.clock_helper.now()`` and only
+the effect fixpoint (EM010) sees it reach core/.
+"""
+
+from repro.obs.clock_helper import now
+
+
+def stamp(run):
+    return (run, now())

@@ -1,0 +1,13 @@
+"""Fixture: a counted path calling into declared-HOST_ONLY code.
+
+``dump_report`` is legitimately host-only (and a propagation
+barrier, so no EM007 here) — but calling it from core/ would put
+uncounted host work under the algorithms the paper measures (EM011).
+"""
+
+from repro.obs.host_dump import dump_report
+
+
+def solve_and_dump(rows, path):
+    dump_report(path, rows)
+    return len(rows)

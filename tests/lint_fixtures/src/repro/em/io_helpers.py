@@ -1,0 +1,16 @@
+"""Fixture: raw-I/O helpers in the EM001-exempt ``em/`` layer.
+
+``read_blob`` wraps ``open()``; ``read_all`` wraps ``read_blob``.
+Neither triggers the intraprocedural EM001 (em/ simulates the disk,
+so it is exempt) — but a ``core/`` caller two hops away must still be
+caught by the transitive EM007.
+"""
+
+
+def read_blob(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def read_all(path):
+    return read_blob(path)

@@ -1,0 +1,10 @@
+"""Fixture: an observer that materializes the scans it watches.
+
+EM002 does not police ``obs/``, but EM009 (observer purity) must:
+an observer pulling a charged scan into memory perturbs the very
+counters it exists to report.
+"""
+
+
+def snapshot(rel):
+    return list(rel.data.scan())

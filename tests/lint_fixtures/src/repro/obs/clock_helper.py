@@ -1,0 +1,12 @@
+"""Fixture helper: wall-clock in a layer EM004 does not police.
+
+``obs/`` may import ``time`` (EM004 covers only core/ and em/) — but
+a counted-layer caller of ``now()`` must be caught by the transitive
+EM010.
+"""
+
+import time
+
+
+def now():
+    return time.time()

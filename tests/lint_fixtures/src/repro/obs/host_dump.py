@@ -1,0 +1,12 @@
+"""Fixture helper: a declared host-only report writer.
+
+The ``# em-effects: HOST_ONLY`` declaration exempts it from EM009 and
+stops effect propagation — but also bars counted layers from calling
+it (EM011, see ``core/bad_em011.py``).
+"""
+
+
+def dump_report(path, rows):  # em-effects: HOST_ONLY -- fixture host-side writer
+    with open(path, "w", encoding="utf-8") as fh:  # emlint: disable=EM001
+        for row in rows:
+            fh.write(f"{row}\n")

@@ -15,14 +15,25 @@ from repro.lint.report import REPORT_SCHEMA_VERSION
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 FIXTURE_SRC = FIXTURES / "src"
 
+#: code → the fixture file(s) that trigger it exactly once when
+#: linted together.  The interprocedural rules (EM007/EM010/EM011)
+#: need two files: the laundering helper plus the flagged caller.
 BAD_FIXTURES = {
-    "EM000": FIXTURE_SRC / "repro/core/bad_em000.py",
-    "EM001": FIXTURE_SRC / "repro/query/bad_em001.py",
-    "EM002": FIXTURE_SRC / "repro/core/bad_em002.py",
-    "EM003": FIXTURE_SRC / "repro/em/bad_em003.py",
-    "EM004": FIXTURE_SRC / "repro/core/bad_em004.py",
-    "EM005": FIXTURE_SRC / "repro/obs/bad_em005.py",
-    "EM006": FIXTURE_SRC / "repro/core/bad_em006.py",
+    "EM000": (FIXTURE_SRC / "repro/core/bad_em000.py",),
+    "EM001": (FIXTURE_SRC / "repro/query/bad_em001.py",),
+    "EM002": (FIXTURE_SRC / "repro/core/bad_em002.py",),
+    "EM003": (FIXTURE_SRC / "repro/em/bad_em003.py",),
+    "EM004": (FIXTURE_SRC / "repro/core/bad_em004.py",),
+    "EM005": (FIXTURE_SRC / "repro/obs/bad_em005.py",),
+    "EM006": (FIXTURE_SRC / "repro/core/bad_em006.py",),
+    "EM007": (FIXTURE_SRC / "repro/core/bad_em007.py",
+              FIXTURE_SRC / "repro/em/io_helpers.py"),
+    "EM008": (FIXTURE_SRC / "repro/core/bad_em008.py",),
+    "EM009": (FIXTURE_SRC / "repro/obs/bad_em009.py",),
+    "EM010": (FIXTURE_SRC / "repro/core/bad_em010.py",
+              FIXTURE_SRC / "repro/obs/clock_helper.py"),
+    "EM011": (FIXTURE_SRC / "repro/core/bad_em011.py",
+              FIXTURE_SRC / "repro/obs/host_dump.py"),
 }
 
 
@@ -32,7 +43,7 @@ BAD_FIXTURES = {
 class TestRuleFixtures:
     @pytest.mark.parametrize("code", sorted(BAD_FIXTURES))
     def test_each_bad_fixture_triggers_its_rule_exactly_once(self, code):
-        result = lint_paths([BAD_FIXTURES[code]], root=FIXTURES)
+        result = lint_paths(list(BAD_FIXTURES[code]), root=FIXTURES)
         codes = [v.code for v in result.violations]
         assert codes == [code]
 
@@ -46,7 +57,7 @@ class TestRuleFixtures:
         assert not result.suppressed_by_pragma
 
     def test_violation_carries_scope_and_renders(self):
-        result = lint_paths([BAD_FIXTURES["EM002"]], root=FIXTURES)
+        result = lint_paths(BAD_FIXTURES["EM002"], root=FIXTURES)
         (v,) = result.violations
         assert v.scope == "slurp"
         assert "EM002" in v.render()
@@ -163,21 +174,21 @@ class TestPragmas:
 
 class TestBaseline:
     def test_round_trip_write_then_clean(self, tmp_path):
-        found = lint_paths([BAD_FIXTURES["EM002"],
-                            BAD_FIXTURES["EM004"]], root=FIXTURES)
+        found = lint_paths([*BAD_FIXTURES["EM002"],
+                            *BAD_FIXTURES["EM004"]], root=FIXTURES)
         assert len(found.violations) == 2
         b = Baseline.from_violations(found.violations)
         path = tmp_path / "baseline.json"
         write_baseline(b, path)
-        again = lint_paths([BAD_FIXTURES["EM002"],
-                            BAD_FIXTURES["EM004"]], root=FIXTURES,
+        again = lint_paths([*BAD_FIXTURES["EM002"],
+                            *BAD_FIXTURES["EM004"]], root=FIXTURES,
                            baseline=load_baseline(path))
         assert again.clean
         assert len(again.suppressed_by_baseline) == 2
         assert again.stale_baseline == []
 
     def test_extra_finding_in_baselined_scope_resurfaces(self):
-        found = lint_paths([BAD_FIXTURES["EM002"]], root=FIXTURES)
+        found = lint_paths(BAD_FIXTURES["EM002"], root=FIXTURES)
         (v,) = found.violations
         b = Baseline(entries=[BaselineEntry(
             path=v.path, code=v.code, scope=v.scope, count=1,
@@ -209,7 +220,7 @@ class TestBaseline:
 
 class TestReporters:
     def test_json_schema_key_set_is_stable(self):
-        result = lint_paths([BAD_FIXTURES["EM002"]], root=FIXTURES)
+        result = lint_paths(BAD_FIXTURES["EM002"], root=FIXTURES)
         doc = json.loads(to_json(result, baseline_path="b.json"))
         assert set(doc) == {"schema_version", "files_checked", "clean",
                             "violations", "suppressed", "stale_baseline",

@@ -48,3 +48,47 @@ def test_pragma_suppressions_are_few_and_only_em001():
     codes = {v.code for v in result.suppressed_by_pragma}
     assert codes <= {"EM001"}
     assert len(result.suppressed_by_pragma) <= 8
+
+
+# ------------------------------------------- effect signatures (emflow)
+
+
+def test_core_layer_never_reaches_raw_io():
+    """The strongest statement emflow can make about the real tree:
+    no function in core/ or em/ has PHYS_IO in its *whole-call-graph*
+    signature — every byte the algorithms move is simulated."""
+    result = lint_paths([SRC], root=ROOT)
+    funcs = result.signatures["functions"]
+    offenders = [q for q, e in funcs.items()
+                 if e["layer"] in ("core", "em")
+                 and "PHYS_IO" in e["effects"]]
+    assert offenders == []
+
+
+def test_sanctioned_peek_sites_are_declared():
+    """The audited peek_tuples() uses carry FREE_PEEK declarations
+    with justifications (the core/acyclic.py clone audit)."""
+    result = lint_paths([SRC], root=ROOT)
+    funcs = result.signatures["functions"]
+    clone = funcs["repro.core.acyclic.clone_instance"]
+    assert clone["declared"] == ["FREE_PEEK"]
+    assert "pre-existing inputs" in clone["justification"]
+    sorted_probe = funcs["repro.em.sort.is_sorted"]
+    assert sorted_probe["declared"] == ["FREE_PEEK"]
+
+
+def test_host_only_declarations_cover_every_export_writer():
+    """Each pragma'd EM001 writer is also declared HOST_ONLY, so the
+    effect pass proves nothing counted can reach it (EM011)."""
+    result = lint_paths([SRC], root=ROOT)
+    funcs = result.signatures["functions"]
+    for qual in ("repro.obs.tracer.Tracer.export_jsonl",
+                 "repro.obs.export.write_chrome_trace",
+                 "repro.obs.baseline.write_baseline",
+                 "repro.obs.baseline.load_baseline",
+                 "repro.data.io.load_csv",
+                 "repro.data.io.instance_from_csv",
+                 "repro.data.io.dump_results_csv",
+                 "repro.cli.cmd_run",
+                 "repro.cli.cmd_lint"):
+        assert funcs[qual]["declared"] == ["HOST_ONLY"], qual
