@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``repro serve``: the real process, real sockets.
+
+The in-process service tests (``tests/test_server.py``) cover the
+engine; this script covers the last mile CI cannot see from there —
+the console entry point, argument parsing, the banner, and the HTTP
+surface under concurrent clients:
+
+1. write a small line-3 dataset as CSVs;
+2. start ``python -m repro serve --port 0`` as a subprocess and read
+   the bound port off the banner;
+3. fire concurrent ``POST /query`` requests (mixed sticky sessions and
+   one-shots) and check every response;
+4. scrape ``/metrics`` and assert the service counters saw the
+   queries, and ``/healthz`` reports live;
+5. shut the process down and fail on a non-clean exit.
+
+Exit status 0 on success; any assertion or timeout fails the job.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 6
+
+
+def write_dataset(tmpdir: Path) -> list[str]:
+    sys.path.insert(0, str(Path(__file__).parent))
+    from bench_service_throughput import _write_csvs
+
+    tables = _write_csvs(tmpdir)
+    args = []
+    for rel, path in sorted(tables.items()):
+        args += ["--table", f"{rel}={path}"]
+    return args
+
+
+def start_server(table_args: list[str]) -> tuple[subprocess.Popen, int]:
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "-M", "256", "-B", "2", "--pool-frames", "2048",
+         *table_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 30
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise AssertionError("serve exited before binding")
+        print(f"serve> {line.rstrip()}")
+        m = re.search(r"http://[\d.]+:(\d+)", line)
+        if m:
+            return proc, int(m.group(1))
+    raise AssertionError("serve never printed its listening banner")
+
+
+def post_query(base: str, client: int, i: int) -> dict:
+    body = {"query": "e1(v1,v2), e2(v2,v3), e3(v3,v4)",
+            "M": 8, "B": 2}
+    if client % 2 == 0:  # half the clients keep a sticky session
+        body["session"] = f"smoke-{client}"
+    req = urllib.request.Request(
+        f"{base}/query", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        assert resp.status == 200, resp.status
+        return json.load(resp)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as td:
+        table_args = write_dataset(Path(td))
+        proc, port = start_server(table_args)
+        base = f"http://127.0.0.1:{port}"
+        try:
+            errors: list[BaseException] = []
+            io_totals: list[int] = []
+
+            def client(c: int) -> None:
+                try:
+                    for i in range(QUERIES_PER_CLIENT):
+                        doc = post_query(base, c, i)
+                        assert doc["results"] == 256, doc["results"]
+                        # Warm queries cost their 80 intermediate
+                        # writes; whoever faults base pages pays up to
+                        # 17 more.  (Which query pays is a race; the
+                        # sum is not.)
+                        assert 80 <= doc["io"]["total"] <= 97, doc
+                        io_totals.append(doc["io"]["total"])
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(c,))
+                       for c in range(N_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                raise errors[0]
+            total = N_CLIENTS * QUERIES_PER_CLIENT
+            # Schedule-independent: 80 writebacks per query, plus the
+            # 17 base pages faulted exactly once service-wide.
+            assert sum(io_totals) == total * 80 + 17, sum(io_totals)
+
+            with urllib.request.urlopen(f"{base}/metrics",
+                                        timeout=10) as resp:
+                metrics = resp.read().decode("utf-8")
+            m = re.search(r"^repro_service_queries(?:_total)?\s+(\d+)",
+                          metrics, re.MULTILINE)
+            assert m, "no repro_service_queries in /metrics"
+            assert int(m.group(1)) == total, (m.group(1), total)
+
+            with urllib.request.urlopen(f"{base}/healthz",
+                                        timeout=10) as resp:
+                assert json.load(resp)["ok"] is True
+            print(f"smoke OK: {total} concurrent queries, metrics and "
+                  f"health check out")
+        finally:
+            proc.terminate()
+            rc = proc.wait(timeout=15)
+        assert rc in (0, -15), f"serve exited with {rc}"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: run and analyze joins from the shell.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run --query "R(a,b), S(b,c)" \\
         --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
@@ -17,7 +17,15 @@ Four subcommands::
 
     python -m repro lint [paths ...] [--format human|json] \\
         [--baseline lint-baseline.json] [--write-baseline] \\
-        [--list-rules] [--effects signatures.json]
+        [--list-rules] [--effects signatures.json] \\
+        [--check-effects effects-baseline.json] \\
+        [--write-effects-baseline effects-baseline.json]
+
+    python -m repro serve --table R=follows.csv --table S=lives.csv \\
+        [-M 4096 -B 64] [--host 127.0.0.1 --port 8707] \\
+        [--pool-frames 256 --pool-policy lru --max-pin-share 0.5] \\
+        [--admission-policy fifo --admission-timeout 30] \\
+        [--instance default] [--workers 8]
 
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
@@ -44,7 +52,17 @@ means every byte of I/O in the tree is accounted through the charged
 device API; exit 1 reports violations or stale baseline entries.
 ``--effects PATH`` additionally dumps the interprocedural
 effect-signature table (the emflow fixpoint behind EM007–EM011) as a
-versioned JSON document — the CI artifact next to the lint report.
+versioned JSON document — the CI artifact next to the lint report;
+``--check-effects`` diffs the live table against a committed archive
+and fails when a function's effects changed without a matching
+``# em-effects:`` declaration update (``--write-effects-baseline``
+regenerates the archive).  ``serve`` keeps a
+:class:`~repro.server.QueryService` alive behind a small HTTP surface:
+``POST /query`` (JSON in/out, optional sticky sessions), ``GET
+/metrics`` (Prometheus text), ``/stats``, ``/catalog`` and
+``/healthz``; ``-M`` is the *global* admission budget shared by all
+concurrent queries (per-query machines come from the request), and
+``--pool-frames`` turns on the shared cross-query buffer pool.
 """
 
 from __future__ import annotations
@@ -59,13 +77,14 @@ from repro.data.io import dump_results_csv, instance_from_csv
 from repro.em.bufferpool import PoolConfig
 from repro.em.device import Device
 from repro.em.policies import POLICIES
-from repro.lint import (RULES, Baseline, lint_paths, load_baseline,
-                        to_human, to_json, write_baseline)
+from repro.lint import (RULES, Baseline, compact_effect_signatures,
+                        compare_effect_signatures, lint_paths,
+                        load_baseline, to_human, to_json, write_baseline)
 from repro.obs import (MetricsRegistry, ProfiledEmitter, SpanProfiler,
                        Tracer, to_prometheus, write_chrome_trace)
 from repro.query import (fractional_edge_cover, gens_all,
                          is_berge_acyclic)
-from repro.query.parse import parse_query, parse_schemas
+from repro.query.parse import parse_query, parse_query_and_layouts
 from repro.query.shapes import classify_shape, detect_line
 
 
@@ -185,12 +204,61 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the inferred per-function effect-"
                            "signature table (versioned JSON) to PATH, "
                            "or '-' for stdout")
+    lint.add_argument("--check-effects", metavar="PATH",
+                      help="diff the live effect signatures against the "
+                           "committed archive at PATH; exit 1 when a "
+                           "function's effects changed without a "
+                           "matching '# em-effects:' declaration update")
+    lint.add_argument("--write-effects-baseline", metavar="PATH",
+                      help="write the compact effect-signature archive "
+                           "(the --check-effects input) to PATH and "
+                           "exit 0")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived query service over HTTP")
+    serve.add_argument("--table", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="CSV file per relation (repeatable); loaded "
+                            "once into the catalog at startup")
+    serve.add_argument("--instance", default="default",
+                       help="catalog name for the loaded tables "
+                            "(default 'default')")
+    serve.add_argument("-M", type=int, default=4096,
+                       help="GLOBAL memory budget in tuples shared by "
+                            "all concurrent queries (default 4096)")
+    serve.add_argument("-B", type=int, default=64,
+                       help="block size in tuples (default 64)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8707,
+                       help="bind port (default 8707; 0 picks a free "
+                            "one and prints it)")
+    serve.add_argument("--pool-frames", type=int, default=0, metavar="N",
+                       help="enable the SHARED cross-query buffer pool "
+                            "with N page frames (default 0 = off)")
+    serve.add_argument("--pool-policy", choices=sorted(POLICIES),
+                       default="lru",
+                       help="replacement policy for --pool-frames "
+                            "(default lru)")
+    serve.add_argument("--max-pin-share", type=float, default=0.5,
+                       help="fraction of pool frames one session may "
+                            "pin (default 0.5)")
+    serve.add_argument("--admission-policy",
+                       choices=("fifo", "smallest-first"),
+                       default="fifo",
+                       help="queue order for queries waiting on the "
+                            "budget (default fifo)")
+    serve.add_argument("--admission-timeout", type=float, default=30.0,
+                       help="seconds a query waits for budget before "
+                            "503 (default 30)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="worker sessions for batched execution "
+                            "(default 8)")
     return parser
 
 
 def cmd_run(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- CLI entry point: loads CSVs and writes reports on the host; the measured run happens inside execute()
-    query = parse_query(args.query)
-    layouts = parse_schemas(args.query)
+    query, layouts = parse_query_and_layouts(args.query)
     tables = {}
     for spec in args.table:
         name, _, path = spec.partition("=")
@@ -490,13 +558,90 @@ def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the c
             with open(args.effects, "w",  # emlint: disable=EM001
                       encoding="utf-8") as fh:
                 fh.write(table + "\n")
+    if args.write_effects_baseline:
+        compact = compact_effect_signatures(result.signatures)
+        # host-side analysis artifact, not simulated-device I/O
+        with open(args.write_effects_baseline, "w",  # emlint: disable=EM001
+                  encoding="utf-8") as fh:
+            json.dump(compact, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"lint: wrote {len(compact['signatures'])} effect "
+              f"signature(s) to {args.write_effects_baseline}")
+    effect_failures: list[str] = []
+    if args.check_effects:
+        try:
+            # host-side analysis artifact, not simulated-device I/O
+            with open(args.check_effects,  # emlint: disable=EM001
+                      encoding="utf-8") as fh:
+                committed = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"lint: bad effects baseline {args.check_effects}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        effect_failures, notices = compare_effect_signatures(
+            committed, result.signatures)
+        for line in notices:
+            print(f"effects: {line}")
+        for line in effect_failures:
+            print(f"effects: FAIL: {line}")
+        if not effect_failures:
+            n = len(result.signatures.get("functions", {}))
+            print(f"effects: {n} signature(s) checked against "
+                  f"{args.check_effects}: ok")
     if args.format == "json":
         print(to_json(result, baseline_path=args.baseline))
     else:
         print(to_human(result, baseline_path=args.baseline))
     # Stale baseline entries fail the run too: the baseline documents
     # reality, and reality moved.
-    return 0 if result.clean and not result.stale_baseline else 1
+    return (0 if result.clean and not result.stale_baseline
+            and not effect_failures else 1)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- long-lived host process: sockets, stdout, CSV loading; measured I/O happens inside sessions
+    # Imported here so `repro run` and friends never pay for the
+    # service layer (threading machinery, HTTP plumbing).
+    from repro.server import QueryService, make_server
+
+    tables: dict[str, str] = {}
+    for spec in args.table or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"serve: bad --table {spec!r}; expected NAME=PATH",
+                  file=sys.stderr)
+            return 2
+        tables[name] = path
+
+    svc = QueryService(
+        M=args.M, B=args.B, pool_frames=args.pool_frames,
+        pool_policy=args.pool_policy, max_pin_share=args.max_pin_share,
+        admission_policy=args.admission_policy,
+        admission_timeout=args.admission_timeout, workers=args.workers)
+    try:
+        if tables:
+            svc.load_tables(args.instance, tables)
+            print(f"serve: loaded {len(tables)} table(s) into instance "
+                  f"{args.instance!r}")
+        server = make_server(svc, args.host, args.port)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        svc.close()
+        return 2
+    pool = (f"pool={args.pool_frames} frames ({args.pool_policy})"
+            if args.pool_frames else "pool=off")
+    print(f"serve: listening on http://{args.host}:{server.server_port} "
+          f"(M={args.M}, B={args.B}, {pool}, "
+          f"admission={args.admission_policy})")
+    print("serve: routes: GET /metrics /healthz /stats /catalog, "
+          "POST /query — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("serve: shutting down")
+    finally:
+        server.server_close()
+        svc.close()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -509,6 +654,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_fit(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -30,7 +30,8 @@ from repro.core.line7 import (line6_unbalanced_join, line7_cover11_join,
                               line7_unbalanced_join, line8_join,
                               line_join_auto, nlj_outer)
 from repro.core.lw import detect_lw, lw_join, lw_query
-from repro.core.planner import ExecutionReport, execute
+from repro.core.planner import (ExecutionReport, estimate_memory_need,
+                                execute)
 from repro.core.reducer_em import full_reduce_em
 from repro.core.trace import RecursionTrace, TraceEvent
 from repro.core.triangle import detect_triangle, triangle_join
@@ -47,7 +48,7 @@ __all__ = [
     "line7_unbalanced_join", "line7_cover11_join", "line8_join",
     "line_join_auto", "nlj_outer",
     "nested_loop_join", "sort_merge_join", "yannakakis_em",
-    "full_reduce_em", "execute", "ExecutionReport",
+    "full_reduce_em", "execute", "ExecutionReport", "estimate_memory_need",
     "triangle_join", "detect_triangle",
     "priority_chooser", "lollipop_paper_chooser", "dumbbell_paper_chooser",
     "RecursionTrace", "TraceEvent",

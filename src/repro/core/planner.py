@@ -57,6 +57,24 @@ class ExecutionReport:
         return self.io + self.reduce_reads + self.reduce_writes
 
 
+def estimate_memory_need(query: JoinQuery, *, M: int, B: int) -> int:
+    """Planner-estimated peak memory a query needs under ``(M, B)``.
+
+    This is what a query *declares* to the service's admission
+    controller.  The paper's algorithms are designed to fill the whole
+    memory — sorting and chunked loads size themselves to ``M`` — so
+    every genuine join needs its full budget; only the degenerate
+    shapes are cheaper: an empty query touches nothing and a
+    single-relation scan streams one block at a time.
+    """
+    shape = classify_shape(query)
+    if shape == "empty":
+        return 0
+    if shape == "single":
+        return min(B, M)
+    return M
+
+
 def execute(query: JoinQuery, instance: Instance, emitter: Emitter, *,
             reduce_first: bool = True, plan_limit: int = 16,
             strategy: str = "best-branch") -> ExecutionReport:

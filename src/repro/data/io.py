@@ -20,15 +20,16 @@ from repro.data.schema import RelationSchema
 from repro.em.device import Device
 
 
-def load_csv(device: Device, path: str | Path, name: str, *,  # em-effects: HOST_ONLY -- the CSV bridge reads host files once, before the measured run
-             attributes: tuple[str, ...] | None = None,
-             delimiter: str = ",", header: bool = True) -> Relation:
-    """Load one delimited file as a relation named ``name``.
+def read_csv_rows(path: str | Path, *,  # em-effects: HOST_ONLY -- the CSV bridge reads host files once, before the measured run
+                  attributes: tuple[str, ...] | None = None,
+                  delimiter: str = ",",
+                  header: bool = True) -> tuple[tuple[str, ...], list[tuple]]:
+    """The host-side half of :func:`load_csv`: read, validate, infer.
 
-    With ``header=True`` the first row names the attributes (unless
-    ``attributes`` overrides them); otherwise ``attributes`` is
-    required.  Duplicate rows are dropped (relations are sets) — the
-    count removed is available via ``len`` comparison by the caller.
+    Returns ``(attributes, typed rows)`` without touching any device —
+    the form the server catalog caches so one file read can feed many
+    sessions.  Rows are returned as parsed (duplicates intact); set
+    semantics are applied at materialization time.
     """
     path = Path(path)
     with path.open(newline="") as fh:
@@ -49,7 +50,21 @@ def load_csv(device: Device, path: str | Path, name: str, *,  # em-effects: HOST
             raise ValueError(
                 f"{path}: row {i + (2 if header else 1)} has "
                 f"{len(row)} fields, expected {width}")
-    typed = _infer_columns(rows)
+    return tuple(attributes), _infer_columns(rows)
+
+
+def load_csv(device: Device, path: str | Path, name: str, *,  # em-effects: HOST_ONLY -- the CSV bridge reads host files once, before the measured run
+             attributes: tuple[str, ...] | None = None,
+             delimiter: str = ",", header: bool = True) -> Relation:
+    """Load one delimited file as a relation named ``name``.
+
+    With ``header=True`` the first row names the attributes (unless
+    ``attributes`` overrides them); otherwise ``attributes`` is
+    required.  Duplicate rows are dropped (relations are sets) — the
+    count removed is available via ``len`` comparison by the caller.
+    """
+    attributes, typed = read_csv_rows(path, attributes=attributes,
+                                      delimiter=delimiter, header=header)
     schema = RelationSchema(name, tuple(attributes))
     return Relation.from_tuples(device, schema, sorted(set(typed)))
 

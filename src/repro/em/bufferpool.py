@@ -29,13 +29,35 @@ Semantics:
 Counters live in ``device.stats.cache`` (hits / misses / evictions /
 write-backs) and satisfy ``hits + misses == logical page reads``, where
 the logical count is exactly what the pool-off configuration charges.
+
+Cross-query sharing (``repro.server``)
+--------------------------------------
+
+A pool can also back *several* devices at once — the service's shared
+pool, where hot relations are read once and hit from cache across
+sessions.  Three extensions make that sound without disturbing the
+single-device accounting above:
+
+* every access may name the device doing the work (``via=``); hits,
+  misses, evictions and write-backs are charged to *that* device's
+  counters, so each session's :class:`~repro.em.stats.IOStats` stays
+  byte-identical to what it alone caused (omitting ``via`` charges the
+  pool's own device — the historical behavior);
+* pins may name an ``owner`` (a session); :meth:`release_owner` drops
+  exactly one owner's pins, and closing a session can therefore never
+  leak pins that keep another session's frames unevictable.  An
+  optional :attr:`PoolConfig.max_pin_share` caps the fraction of frames
+  any one owner may pin (per-session fairness);
+* dirty frames remember which device dirtied them, so
+  ``flush(device=...)`` writes back only one session's deferred writes,
+  charged to that session.
 """
 
 from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import Hashable, TYPE_CHECKING
+from typing import Callable, Hashable, TYPE_CHECKING
 
 from repro.em.policies import ReplacementPolicy, make_policy
 
@@ -54,12 +76,15 @@ class PoolConfig:
     The frame budget is given either in ``tuples`` (a fraction of the
     device's ``M``, the paper-natural unit; rounded down to whole
     frames) or directly in page ``frames``.  With neither set, the
-    budget defaults to ``M`` tuples.
+    budget defaults to ``M`` tuples.  ``max_pin_share`` (0 < share <= 1)
+    caps the fraction of frames a single pin owner may hold pinned —
+    the fairness knob for cross-query pools; ``None`` means no cap.
     """
 
     tuples: int | None = None
     frames: int | None = None
     policy: str = "lru"
+    max_pin_share: float | None = None
 
     def n_frames(self, M: int, B: int) -> int:
         """Resolve the frame budget in pages for a given machine."""
@@ -72,15 +97,25 @@ class PoolConfig:
             raise ValueError(f"tuples must be >= 1, got {budget}")
         return max(1, budget // B)
 
+    def pin_cap(self, n_frames: int) -> int | None:
+        """Max pinned frames per owner, or ``None`` when uncapped."""
+        if self.max_pin_share is None:
+            return None
+        if not 0 < self.max_pin_share <= 1:
+            raise ValueError(
+                f"max_pin_share must be in (0, 1], got {self.max_pin_share}")
+        return max(1, int(self.max_pin_share * n_frames))
+
 
 class _Frame:
-    """One resident page: its dirtiness and pin count."""
+    """One resident page: dirtiness, pin count, and who dirtied it."""
 
-    __slots__ = ("dirty", "pins")
+    __slots__ = ("dirty", "pins", "dirtied_by")
 
-    def __init__(self, dirty: bool) -> None:
+    def __init__(self, dirty: bool, dirtied_by: "Device | None") -> None:
         self.dirty = dirty
         self.pins = 0
+        self.dirtied_by = dirtied_by if dirty else None
 
 
 class BufferPool:
@@ -95,8 +130,11 @@ class BufferPool:
         self.device = device
         self.config = config
         self.n_frames = config.n_frames(device.M, device.B)
+        self._pin_cap = config.pin_cap(self.n_frames)
         self.policy: ReplacementPolicy = make_policy(config.policy)
         self._frames: dict[tuple[Hashable, int], _Frame] = {}
+        # owner -> {key: pins held by that owner on that frame}
+        self._owner_pins: dict[Hashable, dict[tuple[Hashable, int], int]] = {}
 
     # -- introspection -------------------------------------------------
 
@@ -122,113 +160,218 @@ class BufferPool:
         frame = self._frames.get((f, page))
         return 0 if frame is None else frame.pins
 
+    def owner_pins(self, owner: Hashable = None) -> int:
+        """Total pins currently held by ``owner``."""
+        return sum(self._owner_pins.get(owner, {}).values())
+
+    def pin_accounting(self) -> dict[Hashable, dict[str, int]]:
+        """Per-owner fairness view: pinned frames and total pins."""
+        return {owner: {"frames": len(held), "pins": sum(held.values())}
+                for owner, held in self._owner_pins.items() if held}
+
     # -- page access (called by Device.charge_read / charge_write) -----
 
-    def read_page(self, f: Hashable, page: int) -> None:
-        """Account one logical page read: a hit or a charged miss."""
+    def read_page(self, f: Hashable, page: int, *,
+                  via: "Device | None" = None) -> None:
+        """Account one logical page read: a hit or a charged miss.
+
+        ``via`` is the device doing the access (defaults to the pool's
+        own); its counters receive the hit/miss and any physical read.
+        """
+        dev = self.device if via is None else via
         key = (f, page)
         frame = self._frames.get(key)
         if frame is not None:
-            self.cache.hits += 1
-            self.device._notify_cache("hit", f, page)
+            dev.stats.cache.hits += 1
+            dev._notify_cache("hit", f, page)
             self.policy.on_access(key)
             return
-        self.cache.misses += 1
-        self.device._notify_cache("miss", f, page)
-        self.device._record_read(f, page)
-        self._admit(key, dirty=False)
+        dev.stats.cache.misses += 1
+        dev._notify_cache("miss", f, page)
+        dev._record_read(f, page)
+        self._admit(key, dirty=False, via=dev)
 
-    def write_page(self, f: Hashable, page: int) -> None:
+    def write_page(self, f: Hashable, page: int, *,
+                   via: "Device | None" = None) -> None:
         """Account one logical page write, deferred until write-back."""
+        dev = self.device if via is None else via
         key = (f, page)
         frame = self._frames.get(key)
         if frame is not None:
             frame.dirty = True
+            frame.dirtied_by = dev
             self.policy.on_access(key)
             return
-        if not self._admit(key, dirty=True):
+        if not self._admit(key, dirty=True, via=dev):
             # Every frame pinned: write through, uncached.
-            self.device._record_write(f, page)
+            dev._record_write(f, page)
 
     # -- pinning -------------------------------------------------------
 
-    def pin(self, f: Hashable, page: int) -> None:
-        """Fault the page in if needed and protect it from eviction."""
+    def pin(self, f: Hashable, page: int, *, via: "Device | None" = None,
+            owner: Hashable = None) -> None:
+        """Fault the page in if needed and protect it from eviction.
+
+        Pins are attributed to ``owner`` (a session, or the anonymous
+        ``None`` owner for classic single-device use) so they can be
+        released wholesale with :meth:`release_owner` and audited with
+        :meth:`pin_accounting`.
+        """
         key = (f, page)
+        held = self._owner_pins.get(owner, {})
+        if (self._pin_cap is not None and key not in held
+                and len(held) >= self._pin_cap):
+            raise BufferPoolError(
+                f"owner {owner!r} already pins {len(held)} frames; the "
+                f"fairness cap is {self._pin_cap} of {self.n_frames} "
+                f"(max_pin_share={self.config.max_pin_share})")
         if key not in self._frames:
-            self.read_page(f, page)
+            self.read_page(f, page, via=via)
         frame = self._frames.get(key)
         if frame is None:
             raise BufferPoolError(
                 f"cannot pin page {page} of {f!r}: every frame is pinned")
         frame.pins += 1
+        held = self._owner_pins.setdefault(owner, {})
+        held[key] = held.get(key, 0) + 1
 
-    def unpin(self, f: Hashable, page: int) -> None:
-        frame = self._frames.get((f, page))
-        if frame is None or frame.pins == 0:
+    def unpin(self, f: Hashable, page: int, *,
+              owner: Hashable = None) -> None:
+        key = (f, page)
+        frame = self._frames.get(key)
+        held = self._owner_pins.get(owner)
+        if frame is None or not held or held.get(key, 0) == 0:
             raise BufferPoolError(
-                f"unpin of page {page} of {f!r} without a matching pin")
+                f"unpin of page {page} of {f!r} without a matching pin"
+                + (f" (owner {owner!r})" if owner is not None else ""))
         frame.pins -= 1
+        if held[key] == 1:
+            del held[key]
+        else:
+            held[key] -= 1
+        if not held:
+            del self._owner_pins[owner]
+
+    def release_owner(self, owner: Hashable = None) -> int:
+        """Drop every pin held by ``owner``; returns how many.
+
+        This is the session-close path: a departing owner's pins must
+        not keep frames unevictable for everyone else, and — the other
+        direction of the same bug — closing one session must *not*
+        disturb pins other sessions still hold.
+        """
+        held = self._owner_pins.pop(owner, None)
+        if not held:
+            return 0
+        released = 0
+        for key, count in held.items():
+            frame = self._frames.get(key)
+            if frame is not None:
+                frame.pins -= count
+            released += count
+        return released
 
     @contextlib.contextmanager
-    def pinned(self, f: Hashable, page: int):
+    def pinned(self, f: Hashable, page: int, *,
+               via: "Device | None" = None, owner: Hashable = None):
         """Context manager pinning one page for the enclosed scope."""
-        self.pin(f, page)
+        self.pin(f, page, via=via, owner=owner)
         try:
             yield
         finally:
-            self.unpin(f, page)
+            self.unpin(f, page, owner=owner)
 
     # -- lifecycle -----------------------------------------------------
 
-    def flush(self) -> None:
-        """Write back every dirty page (pages stay resident, clean)."""
+    def flush(self, device: "Device | None" = None) -> None:
+        """Write back dirty pages (pages stay resident, clean).
+
+        With ``device`` given, only pages *dirtied by* that device are
+        written back, charged to it — so one session flushing its
+        deferred writes cannot pay for (or expose) another's.  Without,
+        every dirty page is written back, each charged to the device
+        that dirtied it (the pool's own device when unrecorded).
+        """
         for key, frame in self._frames.items():
-            if frame.dirty:
-                self.device._record_write(key[0], key[1])
-                self.cache.writebacks += 1
-                self.device._notify_cache("writeback", key[0], key[1])
-                frame.dirty = False
+            if not frame.dirty:
+                continue
+            if device is not None and frame.dirtied_by is not device:
+                continue
+            self._write_back(key, frame)
 
     def close(self) -> None:
-        """Flush, then drop every frame (pins included)."""
+        """Flush, then drop every frame and all pin accounting."""
         self.flush()
         self._frames.clear()
+        self._owner_pins.clear()
         self.policy.clear()
 
     def clear(self) -> None:
         """Drop every frame *without* write-back.
 
         Only for ``Device.reset_stats``: deferred writes would otherwise
-        leak into the zeroed counters.
+        leak into the zeroed counters.  Pin accounting is reset with the
+        frames it described.
         """
         self._frames.clear()
+        self._owner_pins.clear()
         self.policy.clear()
+
+    def drop_matching(self, pred: Callable[[tuple[Hashable, int]], bool],
+                      *, include_dirty: bool = False) -> int:
+        """Forget resident frames whose key satisfies ``pred``.
+
+        No write-back is performed (flush first if the deferred writes
+        matter); dirty frames are skipped unless ``include_dirty``.
+        Pinned frames are never dropped.  Used by session pool views to
+        retire their private (temp-file) frames without touching pages
+        shared across sessions.
+        """
+        dropped = 0
+        for key in [k for k in self._frames if pred(k)]:
+            frame = self._frames[key]
+            if frame.pins or (frame.dirty and not include_dirty):
+                continue
+            del self._frames[key]
+            self.policy.remove(key)
+            dropped += 1
+        if dropped:
+            self.device.metrics.gauge("pool.resident_pages").set(
+                len(self._frames))
+        return dropped
 
     # -- internals -----------------------------------------------------
 
-    def _admit(self, key: tuple[Hashable, int], dirty: bool) -> bool:
+    def _write_back(self, key: tuple[Hashable, int], frame: _Frame) -> None:
+        dev = frame.dirtied_by or self.device
+        dev._record_write(key[0], key[1])
+        dev.stats.cache.writebacks += 1
+        dev._notify_cache("writeback", key[0], key[1])
+        frame.dirty = False
+        frame.dirtied_by = None
+
+    def _admit(self, key: tuple[Hashable, int], dirty: bool,
+               via: "Device | None" = None) -> bool:
         """Make ``key`` resident, evicting if full.  False if impossible."""
-        if len(self._frames) >= self.n_frames and not self._evict_one():
+        dev = self.device if via is None else via
+        if len(self._frames) >= self.n_frames and not self._evict_one(dev):
             return False
-        self._frames[key] = _Frame(dirty)
+        self._frames[key] = _Frame(dirty, dev)
         self.policy.on_insert(key)
         self.device.metrics.gauge("pool.resident_pages").set(
             len(self._frames))
         return True
 
-    def _evict_one(self) -> bool:
+    def _evict_one(self, dev: "Device") -> bool:
         victim = self.policy.victim(
             lambda k: self._frames[k].pins == 0)
         if victim is None:
             return False
         frame = self._frames.pop(victim)
-        self.cache.evictions += 1
-        self.device._notify_cache("eviction", victim[0], victim[1])
+        dev.stats.cache.evictions += 1
+        dev._notify_cache("eviction", victim[0], victim[1])
         if frame.dirty:
-            self.device._record_write(victim[0], victim[1])
-            self.cache.writebacks += 1
-            self.device._notify_cache("writeback", victim[0], victim[1])
+            self._write_back(victim, frame)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -136,6 +136,22 @@ class Device:
         """Swap back to the shared no-op metrics sink."""
         self.metrics = NULL_METRICS
 
+    def attach_pool(self, pool) -> None:
+        """Route this device's page charges through an external pool.
+
+        ``pool`` must expose the charging surface of
+        :class:`~repro.em.bufferpool.BufferPool` (``read_page`` /
+        ``write_page`` / ``flush`` / ``clear``) — in practice a server
+        session's view of a shared cross-query pool.  Replaces any
+        constructor-owned pool; ``pool_config`` still describes only
+        the latter.
+        """
+        self.pool = pool
+
+    def detach_pool(self) -> None:
+        """Charge directly again (the paper-faithful default)."""
+        self.pool = None
+
     def span(self, name: str, kind: str = "operator", **attrs):
         """A profiled span, or the shared no-op when profiling is off.
 

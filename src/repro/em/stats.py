@@ -183,6 +183,11 @@ class PhaseTracker:
         self._stats = stats
         self.totals: dict[str, int] = {}
         self._stack: list[list[int]] = []
+        # I/O total when the tracker was last reset: the remainder in
+        # report() is measured from here, so a long-lived device (a
+        # server session) can zero its phase view per query without
+        # rewinding the monotone counters.
+        self._origin: int = 0
         # Set by Device.attach_tracer; observes enter/exit, never counts.
         self._tracer: Any = None
         # Set by Device.attach_profiler; every phase opens a span.
@@ -213,13 +218,14 @@ class PhaseTracker:
     def report(self) -> dict[str, int]:
         """Per-phase I/O plus the unattributed remainder."""
         out = dict(sorted(self.totals.items()))
-        out["(unattributed)"] = self._stats.total - sum(
-            self.totals.values())
+        out["(unattributed)"] = (self._stats.total - self._origin
+                                 - sum(self.totals.values()))
         return out
 
     def reset(self) -> None:
         self.totals.clear()
         self._stack.clear()
+        self._origin = self._stats.total
 
 
 @dataclass

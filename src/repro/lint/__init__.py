@@ -52,7 +52,9 @@ from repro.lint.baseline import (Baseline, BaselineEntry, load_baseline,
 from repro.lint.callgraph import (EFFECT_NAMES, UNKNOWN, FunctionNode,
                                   Program, build_program)
 from repro.lint.effects import (EFFECTS_SCHEMA_VERSION, EffectFinding,
-                                evaluate, signature_table)
+                                compact_effect_signatures,
+                                compare_effect_signatures, evaluate,
+                                signature_table)
 from repro.lint.registry import RULES, Rule
 from repro.lint.report import REPORT_SCHEMA_VERSION, to_human, to_json
 from repro.lint.visitor import (LintResult, Violation, check_source,
@@ -65,5 +67,6 @@ __all__ = [
     "to_human", "to_json", "REPORT_SCHEMA_VERSION",
     "EFFECT_NAMES", "UNKNOWN", "FunctionNode", "Program",
     "build_program", "EffectFinding", "evaluate", "signature_table",
+    "compact_effect_signatures", "compare_effect_signatures",
     "EFFECTS_SCHEMA_VERSION",
 ]

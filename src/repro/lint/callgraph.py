@@ -52,7 +52,11 @@ PURE_MODULES = frozenset({
     "copy", "csv", "dataclasses", "enum", "functools", "heapq",
     "inspect", "itertools", "json", "math", "networkx", "numpy",
     "operator", "os", "re", "statistics", "string", "sys", "textwrap",
-    "types", "typing",
+    "threading", "types", "typing",
+    # Constructing paths is pure string work; the methods that move
+    # bytes (read_text & friends) are caught as RAW_IO_METHODS at the
+    # call site regardless of how the receiver was built.
+    "pathlib",
 })
 
 #: Builtin callables (called by bare name) with no lattice effect.
@@ -68,6 +72,7 @@ PURE_BUILTINS = frozenset({
     # typing/dataclass helpers that appear in call position
     "cast", "field", "dataclass", "ValueError", "TypeError",
     "KeyError", "RuntimeError", "NotImplementedError", "StopIteration",
+    "Exception", "AssertionError", "IndexError",
 })
 
 #: Attribute names (on unresolvable receivers) that are container /
@@ -85,10 +90,24 @@ PURE_METHODS = frozenset({
     "title", "union", "update", "upper", "values", "with_suffix",
 })
 
+#: Methods provided by *external* base classes that never touch the
+#: effect lattice.  Keyed by resolved dotted base name: a linted class
+#: whose (transitive) bases include one of these resolves the listed
+#: ``self.<method>`` calls as pure instead of UNKNOWN.
+#: ``ast.NodeVisitor.visit`` dispatches back into the subclass's
+#: ``visit_*`` methods, but every linted visitor lives in the
+#: host-side ``lint`` layer — already a propagation barrier — so
+#: treating the dispatcher itself as inert loses nothing.
+PURE_BASE_METHODS: dict[str, frozenset[str]] = {
+    "ast.NodeVisitor": frozenset({"visit", "generic_visit"}),
+}
+
 #: A raw, unresolved call site: (kind, data, line).  ``kind`` is
 #: "name" (bare-name call), "dotted" (full Name-rooted attribute
-#: chain, e.g. ``self.device.charge_read``) or "attr" (attribute on a
-#: non-name expression; only the attribute name survives).
+#: chain, e.g. ``self.device.charge_read``), "super" (a
+#: ``super().method(...)`` call, data is the method name) or "attr"
+#: (attribute on a non-name expression; only the attribute name
+#: survives).
 RawCall = tuple[str, str, int]
 
 
@@ -136,6 +155,13 @@ class Program:
     module_funcs: dict[tuple[str, str], str] = field(default_factory=dict)
     #: ``module.Class`` → method names declared on it.
     classes: dict[str, set[str]] = field(default_factory=dict)
+    #: ``module.Class`` → resolved base-class keys, in declaration
+    #: order.  Linted bases are canonical class keys; external bases
+    #: keep their resolved dotted name (``ast.NodeVisitor``) so the
+    #: :data:`PURE_BASE_METHODS` whitelist can match them.
+    bases: dict[str, list[str]] = field(default_factory=dict)
+    #: Whether class-hierarchy-aware resolution is active.
+    hierarchy: bool = True
     #: module → local import alias → absolute dotted target.
     imports: dict[str, dict[str, str]] = field(default_factory=dict)
     #: dotted names of every linted module.
@@ -181,6 +207,7 @@ class _Collector(ast.NodeVisitor):
         self.imports: dict[str, str] = {}
         self.functions: list[FunctionNode] = []
         self.classes: dict[str, set[str]] = {}
+        self.base_refs: dict[str, list[str]] = {}  #: cls → raw base refs
         self._cls: str | None = None
         self._node: FunctionNode | None = None
         self._hold_depth = 0
@@ -259,6 +286,15 @@ class _Collector(ast.NodeVisitor):
             return
         self._cls = node.name
         self.classes.setdefault(node.name, set())
+        refs = self.base_refs.setdefault(node.name, [])
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                refs.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                dotted = rules.dotted_name(base)
+                if dotted is not None:
+                    refs.append(dotted)
+            # else: a subscripted generic or computed base — opaque.
         try:
             self.generic_visit(node)
         finally:
@@ -312,6 +348,10 @@ class _Collector(ast.NodeVisitor):
                 fn.intrinsic.add("PHYS_IO")
             elif attr == "peek_tuples":
                 fn.intrinsic.add("FREE_PEEK")
+            elif (isinstance(func.value, ast.Call)
+                  and isinstance(func.value.func, ast.Name)
+                  and func.value.func.id == "super"):
+                fn.raw_calls.append(("super", attr, node.lineno))
             else:
                 dotted = rules.dotted_name(func)
                 if dotted is not None:
@@ -349,15 +389,20 @@ def module_name_for(path: str, pkg_parts: tuple[str, ...] | None) -> str:
 
 def build_program(
         modules: Iterable[tuple[str, str, ast.AST,
-                                tuple[str, ...] | None]]) -> Program:
+                                tuple[str, ...] | None]],
+        *, class_hierarchy: bool = True) -> Program:
     """Collect and link a whole program.
 
     ``modules`` yields ``(rel_path, source, tree, pkg_parts)`` for
     every successfully parsed file (``pkg_parts`` as produced by the
-    visitor's path scoping).
+    visitor's path scoping).  ``class_hierarchy=False`` disables the
+    inheritance-aware resolution of ``self.m`` / ``cls`` / ``super()``
+    calls (the pre-hierarchy behavior, kept for measuring how much of
+    the UNKNOWN set the hierarchy pass removes).
     """
-    program = Program()
+    program = Program(hierarchy=class_hierarchy)
     collectors: list[_Collector] = []
+    raw_bases: list[tuple[str, str, list[str]]] = []  # (module, cls, refs)
     for path, source, tree, pkg_parts in modules:
         module = module_name_for(path, pkg_parts)
         layer = (pkg_parts[0]
@@ -371,6 +416,8 @@ def build_program(
         program.imports[module] = coll.imports
         for cls, meths in coll.classes.items():
             program.classes[f"{module}.{cls}"] = meths
+        for cls, refs in coll.base_refs.items():
+            raw_bases.append((module, cls, refs))
         for fn in coll.functions:
             program.nodes[fn.qualname] = fn
             if fn.cls is None:
@@ -378,8 +425,44 @@ def build_program(
             else:
                 meth = fn.local_name.split(".", 1)[1]
                 program.methods.setdefault(meth, []).append(fn.qualname)
+    # Bases resolve after every module is collected: a base class may
+    # live in a module that has not been visited yet.
+    for module, cls, refs in raw_bases:
+        program.bases[f"{module}.{cls}"] = [
+            _resolve_base(program, module, ref) for ref in refs]
     _link(program)
     return program
+
+
+def _resolve_base(program: Program, module: str, ref: str) -> str:
+    """A class-statement base ref → canonical class key or external
+    dotted name."""
+    if f"{module}.{ref}" in program.classes:
+        return f"{module}.{ref}"
+    parts = ref.split(".")
+    target = program.imports.get(module, {}).get(parts[0])
+    if target is not None:
+        return _canonical(program, ".".join([target] + parts[1:]))
+    return ref  # a builtin (Exception) or something opaque
+
+
+def linted_mro(program: Program, clskey: str) -> list[str]:
+    """Base classes of ``clskey`` reachable through the linted tree,
+    breadth-first (approximates Python's MRO well enough for method
+    lookup), including external dotted names at the fringe."""
+    order: list[str] = []
+    seen: set[str] = {clskey}
+    frontier = [clskey]
+    while frontier:
+        nxt: list[str] = []
+        for cls in frontier:
+            for base in program.bases.get(cls, []):
+                if base not in seen:
+                    seen.add(base)
+                    order.append(base)
+                    nxt.append(base)
+        frontier = nxt
+    return order
 
 
 def _link(program: Program) -> None:
@@ -390,6 +473,8 @@ def _link(program: Program) -> None:
                 _resolve_name(program, fn, data)
             elif kind == "dotted":
                 _resolve_dotted(program, fn, data)
+            elif kind == "super":
+                _resolve_super(program, fn, data)
             else:
                 _resolve_attr(program, fn, data)
 
@@ -455,6 +540,16 @@ def _resolve_name(program: Program, fn: FunctionNode, name: str) -> None:
     if clskey in program.classes:
         _class_edge(program, fn, clskey)
         return
+    if name == "cls" and fn.cls is not None and program.hierarchy:
+        # A classmethod constructing its own class (alternate
+        # constructor idiom): edge to __init__, own class first, then
+        # up the hierarchy.
+        own = f"{fn.module}.{fn.cls}.__init__"
+        if own in program.nodes:
+            fn.edges.append(own)
+            return
+        _hierarchy_method(program, fn, "__init__")
+        return  # no linted __init__ anywhere in the MRO: inert
     target = program.imports.get(fn.module, {}).get(name)
     if target is not None:
         _resolve_imported(program, fn, target, name)
@@ -469,11 +564,14 @@ def _resolve_name(program: Program, fn: FunctionNode, name: str) -> None:
 def _resolve_dotted(program: Program, fn: FunctionNode,
                     dotted: str) -> None:
     parts = dotted.split(".")
-    if parts[0] == "self" and fn.cls is not None:
+    if parts[0] in ("self", "cls") and fn.cls is not None:
         if len(parts) == 2:
             meths = program.classes.get(f"{fn.module}.{fn.cls}", set())
             if parts[1] in meths:
                 fn.edges.append(f"{fn.module}.{fn.cls}.{parts[1]}")
+                return
+            if (program.hierarchy
+                    and _hierarchy_method(program, fn, parts[1])):
                 return
         _resolve_attr(program, fn, parts[-1], display=dotted)
         return
@@ -483,6 +581,37 @@ def _resolve_dotted(program: Program, fn: FunctionNode,
         _resolve_imported(program, fn, full, dotted)
         return
     _resolve_attr(program, fn, parts[-1], display=dotted)
+
+
+def _hierarchy_method(program: Program, fn: FunctionNode,
+                      meth: str) -> bool:
+    """Look ``meth`` up along the linted MRO of ``fn``'s class.
+
+    Returns True when the call is accounted for: an edge to the first
+    linted ancestor declaring the method, or a hit in the
+    :data:`PURE_BASE_METHODS` whitelist for an external base.  False
+    means the hierarchy knows nothing and the caller should fall back
+    to the flat method-index resolution.
+    """
+    for anc in linted_mro(program, f"{fn.module}.{fn.cls}"):
+        if meth in program.classes.get(anc, ()):  # linted ancestor
+            qn = f"{anc}.{meth}"
+            if qn in program.nodes:
+                fn.edges.append(qn)
+                return True
+        if meth in PURE_BASE_METHODS.get(anc, ()):
+            return True
+    return False
+
+
+def _resolve_super(program: Program, fn: FunctionNode,
+                   meth: str) -> None:
+    """``super().meth(...)``: the target is *strictly above* the
+    defining class, so own-class methods never shadow it."""
+    if (fn.cls is not None and program.hierarchy
+            and _hierarchy_method(program, fn, meth)):
+        return
+    _resolve_attr(program, fn, meth, display=f"super().{meth}")
 
 
 def _resolve_attr(program: Program, fn: FunctionNode, attr: str,

@@ -30,8 +30,9 @@ from repro.obs.baseline import (compare_baselines, load_baseline,
                                 write_baseline)
 from repro.obs.events import (CACHE_KINDS, EVENT_KINDS, IO_KINDS,
                               TraceEvent)
-from repro.obs.export import (to_chrome_trace, to_prometheus,
-                              write_chrome_trace)
+from repro.obs.export import (make_metrics_handler, metrics_payload,
+                              start_metrics_server, to_chrome_trace,
+                              to_prometheus, write_chrome_trace)
 from repro.obs.metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter,
                                Gauge, Histogram, MetricsRegistry,
                                NullMetrics)
@@ -48,4 +49,5 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetrics",
     "NULL_METRICS", "DEFAULT_BUCKETS",
     "to_chrome_trace", "write_chrome_trace", "to_prometheus",
+    "metrics_payload", "make_metrics_handler", "start_metrics_server",
 ]

@@ -17,7 +17,7 @@ from repro.query.gens import gens_all, gens_one, remove_safely_dominated
 from repro.query.hypergraph import (CyclicQueryError, JoinQuery,
                                     is_berge_acyclic, require_berge_acyclic)
 from repro.query.parse import (QueryParseError, format_query, parse_query,
-                               parse_schemas)
+                               parse_query_and_layouts, parse_schemas)
 from repro.query.lines import (LineClassification, alternating_intervals,
                                balanced_split, balanced_violations,
                                classify_line, independent_subsets,
@@ -39,7 +39,8 @@ __all__ = [
     "optimal_integral_cover", "agm_bound", "greedy_minimum_edge_cover",
     "cover_number",
     "gens_all", "gens_one", "remove_safely_dominated",
-    "parse_query", "parse_schemas", "format_query", "QueryParseError",
+    "parse_query", "parse_schemas", "parse_query_and_layouts",
+    "format_query", "QueryParseError",
     "LineClassification", "line_cover", "alternating_intervals",
     "is_alternating", "is_balanced", "balanced_violations", "balanced_split",
     "classify_line", "independent_subsets", "line_bound",

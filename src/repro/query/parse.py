@@ -113,6 +113,17 @@ def parse_schemas(text: str) -> dict[str, tuple[str, ...]]:
     return layouts
 
 
+def parse_query_and_layouts(
+        text: str) -> tuple[JoinQuery, dict[str, tuple[str, ...]]]:
+    """One parse for callers needing both views of the same text.
+
+    The CLI and the server both need the hypergraph (to plan) *and* the
+    written attribute order (to lay out columns); parsing once keeps
+    the two in lockstep by construction.
+    """
+    return parse_query(text), parse_schemas(text)
+
+
 def format_query(query: JoinQuery) -> str:
     """Render a query back to the atom syntax (attributes sorted)."""
     parts = []

@@ -1,0 +1,39 @@
+"""The long-lived query service: the paper's model as a multi-tenant engine.
+
+The cost model charges every algorithm against one memory budget ``M``
+and one block size ``B``.  A one-shot CLI run owns that machine alone;
+this package multiplexes *concurrent sessions* over it:
+
+* :mod:`repro.server.catalog` — load an instance once, serve many
+  queries (ref-counting, eviction, generations);
+* :mod:`repro.server.admission` — the global budget ``M`` is enforced
+  across in-flight queries: declare your planner-estimated need, get a
+  grant, a queue slot, or a rejection;
+* :mod:`repro.server.pool` — one cross-query buffer pool, with each
+  session's charges routed to its own :class:`~repro.em.stats.IOStats`;
+* :mod:`repro.server.session` — parse → classify → plan → execute with
+  per-session counter/trace isolation (solo-run byte identity);
+* :mod:`repro.server.service` — the engine tying those together, plus
+  the thread-based batch executor;
+* :mod:`repro.server.http` — ``/metrics`` (Prometheus text), ``/query``
+  (JSON) and friends, behind ``repro serve``.
+"""
+
+from repro.server.admission import (AdmissionController, AdmissionError,
+                                    AdmissionRejected, AdmissionTimeout,
+                                    Grant)
+from repro.server.catalog import Catalog, CatalogEntry, CatalogError
+from repro.server.http import ServiceServer, make_server, start_http_server
+from repro.server.pool import PoolView, SharedPool
+from repro.server.service import QueryService, ServiceError
+from repro.server.session import QueryResult, Session, SessionClosed
+
+__all__ = [
+    "AdmissionController", "AdmissionError", "AdmissionRejected",
+    "AdmissionTimeout", "Grant",
+    "Catalog", "CatalogEntry", "CatalogError",
+    "SharedPool", "PoolView",
+    "Session", "SessionClosed", "QueryResult",
+    "QueryService", "ServiceError",
+    "ServiceServer", "make_server", "start_http_server",
+]

@@ -1,0 +1,208 @@
+"""Admission control: concurrent queries under one global budget ``M``.
+
+The paper's algorithms each assume a private memory of ``M`` tuples.  A
+service multiplexing concurrent queries over one machine must keep that
+promise *globally*: at every instant the sum of memory granted to
+in-flight queries stays within the configured budget.  Queries declare
+their planner-estimated need (:func:`repro.core.planner.
+estimate_memory_need`) and the controller grants, queues, or rejects:
+
+* ``need > budget`` — :class:`AdmissionRejected`: the query can never
+  run on this machine (the paper would say ``M`` is too small for it);
+* budget available and the fairness policy agrees — granted at once;
+* otherwise — queued; granted when releases free enough budget, or
+  :class:`AdmissionTimeout` after the caller's patience runs out.
+
+Two queue policies:
+
+* ``"fifo"`` — strict arrival order.  No starvation, but a large query
+  at the head blocks smaller ones that would fit behind it (head-of-line
+  blocking, accepted for the no-starvation guarantee);
+* ``"smallest-first"`` — minimum declared need first.  Maximal
+  concurrency; may starve large queries under sustained small-query
+  load.
+
+The controller is a plain monitor (one lock + condition); grants are
+tickets so a double release is caught instead of silently inflating the
+budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+POLICIES = ("fifo", "smallest-first")
+
+_UNSET = object()
+
+
+class AdmissionError(RuntimeError):
+    """Base class for admission failures."""
+
+
+class AdmissionRejected(AdmissionError):
+    """The declared need exceeds the global budget outright."""
+
+
+class AdmissionTimeout(AdmissionError):
+    """The queue did not drain within the caller's timeout."""
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A live reservation of ``amount`` tuples of the global budget."""
+
+    amount: int
+    ticket: int
+
+
+class AdmissionController:
+    """Grants shares of one memory budget to concurrent queries."""
+
+    def __init__(self, budget: int, *, policy: str = "fifo",
+                 default_timeout: float | None = 30.0) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; pick from {POLICIES}")
+        self.budget = budget
+        self.policy = policy
+        self.default_timeout = default_timeout
+        self._cond = threading.Condition()
+        self._granted = 0
+        self._active: set[int] = set()
+        self._queue: list[tuple[int, int]] = []  # (need, ticket)
+        self._tickets = itertools.count(1)
+        self.stats = {"admitted": 0, "rejected": 0, "timeouts": 0,
+                      "released": 0, "peak_granted": 0, "peak_queue": 0}
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def granted(self) -> int:
+        """Budget currently handed out, in tuples."""
+        return self._granted
+
+    @property
+    def available(self) -> int:
+        return self.budget - self._granted
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._cond:
+            return {"budget": self.budget, "policy": self.policy,
+                    "granted": self._granted,
+                    "available": self.budget - self._granted,
+                    "in_flight": len(self._active),
+                    "queue_depth": len(self._queue), **self.stats}
+
+    # -- the protocol --------------------------------------------------
+
+    def try_acquire(self, need: int) -> Grant | None:
+        """Non-blocking: a grant if budget and queue order allow, else
+        ``None`` (never queues)."""
+        self._validate(need)
+        with self._cond:
+            if self._queue or self._granted + need > self.budget:
+                return None
+            return self._grant(need)
+
+    def acquire(self, need: int, *, timeout: object = _UNSET) -> Grant:
+        """Block until ``need`` tuples are granted, or fail.
+
+        ``timeout=None`` waits forever; the default is the controller's
+        ``default_timeout``.  ``timeout=0`` degrades to the non-blocking
+        fast path (but raises instead of returning ``None``).
+        """
+        self._validate(need)
+        patience = self.default_timeout if timeout is _UNSET else timeout
+        deadline = (None if patience is None
+                    else time.monotonic() + float(patience))
+        entry = (need, next(self._tickets))
+        with self._cond:
+            self._queue.append(entry)
+            if len(self._queue) > self.stats["peak_queue"]:
+                self.stats["peak_queue"] = len(self._queue)
+            try:
+                while True:
+                    if (self._my_turn(entry)
+                            and self._granted + need <= self.budget):
+                        self._queue.remove(entry)
+                        return self._grant(need, ticket=entry[1])
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        self._queue.remove(entry)
+                        self.stats["timeouts"] += 1
+                        # Our departure may unblock whoever queued behind.
+                        self._cond.notify_all()
+                        raise AdmissionTimeout(
+                            f"no {need} tuples freed within {patience}s "
+                            f"(granted {self._granted}/{self.budget}, "
+                            f"queue depth {len(self._queue)})")
+                    self._cond.wait(remaining)
+            except BaseException:
+                if entry in self._queue:  # interrupted while waiting
+                    self._queue.remove(entry)
+                    self._cond.notify_all()
+                raise
+
+    def release(self, grant: Grant) -> None:
+        """Return a grant's budget; wakes every queued waiter."""
+        with self._cond:
+            if grant.ticket not in self._active:
+                raise AdmissionError(
+                    f"release of inactive grant {grant} (double release?)")
+            self._active.remove(grant.ticket)
+            self._granted -= grant.amount
+            self.stats["released"] += 1
+            self._cond.notify_all()
+
+    @contextmanager
+    def admit(self, need: int, *, timeout: object = _UNSET):
+        """``with admission.admit(need):`` — acquire and always release."""
+        grant = self.acquire(need, timeout=timeout)
+        try:
+            yield grant
+        finally:
+            self.release(grant)
+
+    # -- internals -----------------------------------------------------
+
+    def _validate(self, need: int) -> None:
+        if need < 0:
+            raise ValueError(f"memory need must be >= 0, got {need}")
+        if need > self.budget:
+            with self._cond:
+                self.stats["rejected"] += 1
+            raise AdmissionRejected(
+                f"query needs {need} tuples but the global budget is "
+                f"{self.budget}; no release can ever satisfy it")
+
+    def _my_turn(self, entry: tuple[int, int]) -> bool:
+        if self.policy == "fifo":
+            return self._queue[0] is entry
+        return min(self._queue) == entry  # (need, ticket) natural order
+
+    def _grant(self, need: int, ticket: int | None = None) -> Grant:
+        grant = Grant(amount=need,
+                      ticket=next(self._tickets) if ticket is None
+                      else ticket)
+        self._granted += need
+        self._active.add(grant.ticket)
+        self.stats["admitted"] += 1
+        if self._granted > self.stats["peak_granted"]:
+            self.stats["peak_granted"] = self._granted
+        return grant
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AdmissionController(budget={self.budget}, "
+                f"granted={self._granted}, queue={len(self._queue)})")

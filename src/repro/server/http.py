@@ -1,0 +1,154 @@
+"""The service's live surface: stdlib HTTP, JSON in, JSON out.
+
+Routes (all rooted at the bind address of ``repro serve``):
+
+* ``GET /metrics`` — the Prometheus text exposition of the service
+  registry (:func:`repro.obs.export.metrics_payload`), gauges refreshed
+  at scrape time;
+* ``GET /healthz`` — liveness;
+* ``GET /stats`` — the full engine view (admission, catalog, pool,
+  sessions) as JSON;
+* ``GET /catalog`` — loaded instances;
+* ``POST /query`` — run one query.  Body::
+
+      {"query": "e1(v1,v2), e2(v2,v3), e3(v3,v4)",
+       "instance": "default",          // catalog name
+       "M": 8, "B": 2,                 // per-query machine (optional)
+       "session": "alice",             // sticky session (optional)
+       "collect": false,               // include result rows
+       "timeout_s": 5}                 // admission patience
+
+  Without ``session`` the query runs one-shot (open, run, close);
+  with it, repeated requests share devices, instance caches and pins —
+  the connection abstraction over a stateless protocol.
+
+Admission failures map to HTTP the obvious way: a need larger than the
+global budget is 422 (no retry will help), a queue timeout is 503 with
+``Retry-After`` (the service is busy, try again).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.obs.export import metrics_payload
+from repro.query.parse import QueryParseError
+from repro.server.admission import AdmissionRejected, AdmissionTimeout
+from repro.server.catalog import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.service import QueryService
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """One HTTP front end bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, addr: tuple[str, int],
+                 service: "QueryService") -> None:
+        super().__init__(addr, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # the service reports through /metrics, not stderr
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              headers: dict[str, str] | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, doc, headers=None) -> None:
+        body = json.dumps(doc, indent=1, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json", headers)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        service = self.server.service
+        path = self.path.split("?")[0]
+        if path == "/metrics":
+            self._send(200, metrics_payload(service.refresh_metrics()),
+                       "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/healthz":
+            self._json(200, {"ok": not service.closed})
+        elif path == "/stats":
+            self._json(200, service.stats())
+        elif path == "/catalog":
+            self._json(200, service.catalog.info())
+        else:
+            self._json(404, {"error": f"unknown path {path!r}",
+                             "routes": ["/metrics", "/healthz", "/stats",
+                                        "/catalog", "POST /query"]})
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        if self.path.split("?")[0] != "/query":
+            self._json(404, {"error": "POST only to /query"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            req = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(req, dict) or "query" not in req:
+                raise ValueError('the body needs a "query" field')
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._json(400, {"error": f"bad request body: {exc}"})
+            return
+        service = self.server.service
+        kwargs = {
+            "instance": req.get("instance", "default"),
+            "collect": bool(req.get("collect", False)),
+        }
+        if req.get("M") is not None:
+            kwargs["M"] = int(req["M"])
+        if req.get("B") is not None:
+            kwargs["B"] = int(req["B"])
+        if "timeout_s" in req:
+            kwargs["timeout"] = (None if req["timeout_s"] is None
+                                 else float(req["timeout_s"]))
+        try:
+            result = service.execute(req["query"],
+                                     session=req.get("session"), **kwargs)
+        except AdmissionRejected as exc:
+            self._json(422, {"error": str(exc), "kind": "rejected"})
+        except AdmissionTimeout as exc:
+            self._json(503, {"error": str(exc), "kind": "timeout"},
+                       headers={"Retry-After": "1"})
+        except (QueryParseError, CatalogError, KeyError,
+                ValueError) as exc:
+            self._json(400, {"error": str(exc)})
+        else:
+            self._json(200, result.as_dict())
+
+
+def make_server(service: "QueryService", host: str = "127.0.0.1",
+                port: int = 8707) -> ServiceServer:
+    """Bind (``port=0`` picks a free one) without starting to serve."""
+    return ServiceServer((host, port), service)
+
+
+def start_http_server(service: "QueryService", host: str = "127.0.0.1",
+                      port: int = 0) -> ServiceServer:
+    """Bind and serve on a daemon thread (tests, embedding).
+
+    Returns the server; ``server_port`` holds the bound port and
+    ``shutdown()`` stops the loop.
+    """
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve", daemon=True)
+    thread.start()
+    return server

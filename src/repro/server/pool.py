@@ -1,0 +1,199 @@
+"""The cross-query shared buffer pool and its per-session views.
+
+One :class:`~repro.em.bufferpool.BufferPool` (anchored on a private
+device that only lends its ``B``) is shared by every session: hot base
+relations are faulted in once and hit from cache service-wide.  Each
+session talks to it through a :class:`PoolView` — an object with the
+``BufferPool`` charging surface that a session device adopts via
+:meth:`~repro.em.device.Device.attach_pool`.  The view
+
+* translates the session's :class:`~repro.em.file.EMFile` objects into
+  pool-wide *labels*, so two sessions' independent materializations of
+  the same catalog relation land on the same frames.  Shared labels are
+  registered explicitly (``share``); everything else (sort runs, temp
+  partitions) gets a view-private label, invisible to other sessions;
+* routes every charge ``via`` the session's device, so hits, misses and
+  write-backs appear in *that* session's counters — per-session
+  accounting stays byte-identical to what the session alone caused;
+* attributes pins to the session (``owner``), so closing a session
+  releases exactly its own pins (see ``BufferPool.release_owner``).
+
+Page numbering depends on ``B``, so shared labels embed the block size
+and the catalog generation: sessions on a different ``B`` (or stale
+data) simply do not share frames rather than corrupting each other's.
+
+All entry points serialize on one lock; the pool itself is not
+thread-safe and the GIL does not make dict check-then-act atomic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, TYPE_CHECKING
+
+from repro.em.bufferpool import BufferPool, PoolConfig
+from repro.em.device import Device
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.em.file import EMFile
+
+
+def shared_label(instance: str, generation: int, B: int, rel: str) -> str:
+    """The pool-wide name for a base relation's pages."""
+    return f"shared/{instance}@g{generation}/B{B}/{rel}"
+
+
+class SharedPool:
+    """The service-wide pool plus the lock all views funnel through."""
+
+    def __init__(self, *, frames: int, policy: str = "lru", B: int,
+                 max_pin_share: float | None = None,
+                 metrics=None) -> None:
+        config = PoolConfig(frames=frames, policy=policy,
+                            max_pin_share=max_pin_share)
+        # The anchor device exists to carry B and the residency gauge;
+        # no query I/O is ever charged to it (views charge via= their
+        # session devices).
+        self.device = Device(M=max(B, frames * B), B=B, metrics=metrics)
+        self.B = B
+        self.pool = BufferPool(self.device, config)
+        self.lock = threading.Lock()
+
+    def view(self, device: Device, owner: Hashable) -> "PoolView":
+        """A session-facing view charging ``device``, pinning as
+        ``owner``."""
+        if device.B != self.B:
+            raise ValueError(
+                f"session device has B={device.B} but the shared pool "
+                f"pages with B={self.B}; sharing frames would mix page "
+                f"boundaries")
+        return PoolView(self, device, owner)
+
+    def stats(self) -> dict[str, object]:
+        with self.lock:
+            return {
+                "frames": self.pool.n_frames,
+                "resident_pages": self.pool.resident_pages,
+                "policy": self.pool.config.policy,
+                "max_pin_share": self.pool.config.max_pin_share,
+                "pins": {str(owner): counts for owner, counts in
+                         self.pool.pin_accounting().items()},
+            }
+
+    def close(self) -> None:
+        with self.lock:
+            self.pool.close()
+
+
+class PoolView:
+    """One session's window onto the shared pool.
+
+    Implements the surface ``Device.charge_read``/``charge_write`` and
+    ``Device.reset_stats`` expect of a pool (``read_page``,
+    ``write_page``, ``flush``, ``clear``), so a session device can
+    simply :meth:`~repro.em.device.Device.attach_pool` it.
+    """
+
+    def __init__(self, shared: SharedPool, device: Device,
+                 owner: Hashable) -> None:
+        self.shared = shared
+        self.device = device
+        self.owner = owner
+        # EMFile (by identity) -> label.  Shared entries persist for the
+        # view's lifetime; private ones are forgotten at end_query() so
+        # dead temp files do not accumulate.
+        self._shared_labels: dict["EMFile", str] = {}
+        self._private_labels: dict["EMFile", str] = {}
+        self._private_set: set[str] = set()
+        self._n_private = 0
+
+    # -- label management ---------------------------------------------
+
+    def share(self, f: "EMFile", label: str) -> None:
+        """Map this session's file onto a pool-wide shared label."""
+        self._shared_labels[f] = label
+
+    def _label(self, f: "EMFile") -> str:
+        label = self._shared_labels.get(f)
+        if label is not None:
+            return label
+        label = self._private_labels.get(f)
+        if label is None:
+            # The counter (not the file name) guarantees uniqueness:
+            # distinct live files may share a name across instances.
+            self._n_private += 1
+            name = getattr(f, "name", None) or str(f)
+            label = f"view/{self.owner}/{self._n_private}:{name}"
+            self._private_labels[f] = label
+            self._private_set.add(label)
+        return label
+
+    # -- the Device pool surface --------------------------------------
+
+    def read_page(self, f: "EMFile", page: int) -> None:
+        with self.shared.lock:
+            self.shared.pool.read_page(self._label(f), page,
+                                       via=self.device)
+
+    def write_page(self, f: "EMFile", page: int) -> None:
+        with self.shared.lock:
+            self.shared.pool.write_page(self._label(f), page,
+                                        via=self.device)
+
+    def flush(self) -> None:
+        """Write back only this session's deferred dirty pages."""
+        with self.shared.lock:
+            self.shared.pool.flush(device=self.device)
+
+    def clear(self) -> None:
+        """Drop this view's private frames without write-back.
+
+        The shared-label frames stay: they belong to every session, and
+        base pages are only ever clean (inputs materialize uncharged,
+        bypassing the pool).
+        """
+        with self.shared.lock:
+            self.shared.pool.drop_matching(
+                lambda key: key[0] in self._private_set,
+                include_dirty=True)
+            self._private_labels.clear()
+            self._private_set.clear()
+
+    # -- session-facing extras ----------------------------------------
+
+    def pin(self, f: "EMFile", page: int) -> None:
+        with self.shared.lock:
+            self.shared.pool.pin(self._label(f), page, via=self.device,
+                                 owner=self.owner)
+
+    def unpin(self, f: "EMFile", page: int) -> None:
+        with self.shared.lock:
+            self.shared.pool.unpin(self._label(f), page, owner=self.owner)
+
+    def end_query(self) -> None:
+        """Retire one query's working set: flush own dirty pages, then
+        drop the private (temp-file) frames they lived in.
+
+        Temp files are query-private by construction, so keeping their
+        frames would only crowd out shared pages for other sessions —
+        and dropping them keeps pooled counters independent of what ran
+        before on this session.
+        """
+        with self.shared.lock:
+            pool = self.shared.pool
+            pool.flush(device=self.device)
+            pool.drop_matching(lambda key: key[0] in self._private_set)
+            self._private_labels.clear()
+            self._private_set.clear()
+
+    def close(self) -> None:
+        """Session teardown: release only *this* session's pins, write
+        back its dirty pages, and drop its private frames."""
+        with self.shared.lock:
+            pool = self.shared.pool
+            pool.release_owner(self.owner)
+            pool.flush(device=self.device)
+            pool.drop_matching(lambda key: key[0] in self._private_set)
+            self._private_labels.clear()
+            self._private_set.clear()
+            self._shared_labels.clear()

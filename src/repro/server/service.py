@@ -1,0 +1,278 @@
+"""The engine: catalog + admission + shared pool + session registry.
+
+A :class:`QueryService` is what ``repro serve`` keeps alive between
+requests.  It owns the pieces individual runs would otherwise rebuild:
+
+* the :class:`~repro.server.catalog.Catalog` of loaded instances (CSV
+  parsed once, served to every session);
+* the :class:`~repro.server.admission.AdmissionController` enforcing
+  the *global* memory budget ``M`` across in-flight queries;
+* optionally one :class:`~repro.server.pool.SharedPool` of page frames
+  that all sessions hit (``pool_frames > 0``);
+* a :class:`~repro.obs.metrics.MetricsRegistry` aggregating
+  service-wide instruments for the ``/metrics`` exposition.
+
+:meth:`execute_batch` is the thread-based executor: requests are dealt
+round-robin onto persistent worker sessions (deterministic assignment,
+so pooled aggregate counters are schedule-independent) and each
+worker's queue runs on its own thread.  Under the GIL the win is not
+parallel compute — it is amortization: instances materialize once per
+worker, hot pages hit the shared pool, and admission waits overlap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Mapping
+
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.server.admission import AdmissionController
+from repro.server.catalog import Catalog
+from repro.server.pool import SharedPool
+from repro.server.session import QueryResult, Session
+
+
+class ServiceError(RuntimeError):
+    """Service-level misuse (unknown session, closed service, ...)."""
+
+
+class QueryService:
+    """A long-lived, multi-session query engine over one machine."""
+
+    def __init__(self, *, M: int = 4096, B: int = 64,
+                 default_query_M: int | None = None,
+                 pool_frames: int = 0, pool_policy: str = "lru",
+                 max_pin_share: float | None = 0.5,
+                 admission_policy: str = "fifo",
+                 admission_timeout: float | None = 30.0,
+                 catalog_capacity: int | None = None,
+                 workers: int = 8, metrics: MetricsRegistry | None = None,
+                 ) -> None:
+        if B < 1 or M < B:
+            raise ValueError(f"need 1 <= B <= M, got M={M}, B={B}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.M = M
+        self.B = B
+        # What a query gets when it does not ask for a machine size.
+        # Defaults to the full budget — solo-run semantics; concurrency
+        # then comes from queries declaring smaller needs.
+        self.default_query_M = M if default_query_M is None \
+            else default_query_M
+        self.workers = workers
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.catalog = Catalog(capacity=catalog_capacity)
+        self.admission = AdmissionController(
+            M, policy=admission_policy, default_timeout=admission_timeout)
+        self.pool = (SharedPool(frames=pool_frames, policy=pool_policy,
+                                B=B, max_pin_share=max_pin_share,
+                                metrics=self.metrics)
+                     if pool_frames else None)
+        self._sessions: dict[str, Session] = {}
+        self._workers: list[Session] = []
+        self._lock = threading.Lock()
+        # Registry updates are read-modify-write; sessions finish on
+        # arbitrary threads, so serialize the folds.
+        self._metrics_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        self.closed = False
+
+    # -- data ----------------------------------------------------------
+
+    def load_tables(self, name: str, tables: Mapping[str, object], *,
+                    replace: bool = False, delimiter: str = ",",
+                    header: bool = True):
+        """Load ``{relation: csv path}`` into the catalog as ``name``."""
+        return self.catalog.load_csv(name, tables, replace=replace,
+                                     delimiter=delimiter, header=header)
+
+    def add_instance(self, name: str,
+                     layouts: Mapping[str, tuple[str, ...]],
+                     rows: Mapping[str, list[tuple]], *,
+                     replace: bool = False):
+        """Register an in-memory dataset (tests, generators)."""
+        return self.catalog.add(name, layouts, rows, replace=replace)
+
+    # -- sessions ------------------------------------------------------
+
+    def session(self, name: str | None = None, *, tracer=None) -> Session:
+        """Open (or re-join) a named session.
+
+        Without a name a fresh one is minted.  Re-joining an existing
+        live session by name is how stateless protocols (HTTP) keep a
+        connection: same devices, same instance caches, same pins.
+        """
+        with self._lock:
+            self._require_open()
+            if name is not None:
+                live = self._sessions.get(name)
+                if live is not None and not live.closed:
+                    return live
+            if name is None:
+                name = f"s{next(self._session_ids)}"
+            session = Session(self, name, tracer=tracer)
+            self._sessions[name] = session
+            return session
+
+    def close_session(self, name: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            raise ServiceError(f"no session named {name!r}")
+        session.close()
+
+    def sessions(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, query, *, session: str | None = None,
+                **kwargs) -> QueryResult:
+        """One query: through a named session, or one-shot."""
+        if session is not None:
+            return self.session(session).execute(query, **kwargs)
+        s = self.session()
+        try:
+            return s.execute(query, **kwargs)
+        finally:
+            self.close_session(s.name)
+
+    def execute_batch(self, requests: list[Mapping], *,
+                      concurrency: int | None = None) -> list[QueryResult]:
+        """Run many requests over persistent worker sessions.
+
+        Each request is a mapping of :meth:`Session.execute` keyword
+        arguments plus ``"query"``.  Request ``i`` runs on worker
+        ``i % concurrency`` — a deterministic deal, so pooled aggregate
+        counters do not depend on thread timing — and each worker
+        drains its share in order on its own thread.  Results come back
+        in request order; the first worker exception (if any) is
+        re-raised after all threads join.
+        """
+        self._require_open()
+        if not requests:
+            return []
+        c = max(1, min(self.workers if concurrency is None else concurrency,
+                       len(requests)))
+        workers = self._worker_sessions(c)
+        results: list[QueryResult | None] = [None] * len(requests)
+        errors: list[tuple[int, BaseException]] = []
+
+        def drain(w: int) -> None:
+            for i in range(w, len(requests), c):
+                req = dict(requests[i])
+                query = req.pop("query")
+                try:
+                    results[i] = workers[w].execute(query, **req)
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append((i, exc))
+                    return
+
+        threads = [threading.Thread(target=drain, args=(w,),
+                                    name=f"repro-batch-w{w}")
+                   for w in range(c)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            i, exc = min(errors, key=lambda e: e[0])
+            raise ServiceError(
+                f"batch request {i} failed on worker "
+                f"{i % c}: {exc!r}") from exc
+        return results
+
+    def _worker_sessions(self, c: int) -> list[Session]:
+        """Persistent workers, grown on demand, reused across batches."""
+        with self._lock:
+            while len(self._workers) < c:
+                w = Session(self, f"w{len(self._workers)}")
+                self._sessions[w.name] = w
+                self._workers.append(w)
+            return self._workers[:c]
+
+    # -- observability -------------------------------------------------
+
+    def _observe(self, result: QueryResult) -> None:
+        """Fold one finished query into the service-wide registry."""
+        with self._metrics_lock:
+            self._observe_locked(result)
+
+    def _observe_locked(self, result: QueryResult) -> None:
+        m = self.metrics
+        m.counter("service.queries").inc()
+        m.counter("service.results").inc(result.results)
+        m.counter("service.io_read_pages").inc(result.io["reads"])
+        m.counter("service.io_write_pages").inc(result.io["writes"])
+        m.histogram("service.query_wall_ms").observe(
+            max(0.0, result.wall_s * 1e3))
+        m.counter(f"service.shape.{result.shape}").inc()
+
+    def refresh_metrics(self) -> MetricsRegistry:
+        """Update the point-in-time gauges, return the registry."""
+        with self._metrics_lock:
+            return self._refresh_metrics_locked()
+
+    def _refresh_metrics_locked(self) -> MetricsRegistry:
+        m = self.metrics
+        adm = self.admission.snapshot()
+        m.gauge("admission.granted_tuples").set(adm["granted"])
+        m.gauge("admission.queue_depth").set(adm["queue_depth"])
+        m.gauge("admission.in_flight").set(adm["in_flight"])
+        m.gauge("catalog.entries").set(len(self.catalog.names()))
+        with self._lock:
+            m.gauge("service.sessions").set(len(self._sessions))
+        if self.pool is not None:
+            m.gauge("pool.resident_pages").set(
+                self.pool.pool.resident_pages)
+        return m
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` payload."""
+        return to_prometheus(self.refresh_metrics())
+
+    def stats(self) -> dict[str, object]:
+        """The ``/stats`` payload: one JSON view of the whole engine."""
+        with self._lock:
+            sessions = [s.stats() for s in self._sessions.values()]
+        return {
+            "machine": {"M": self.M, "B": self.B,
+                        "default_query_M": self.default_query_M},
+            "admission": self.admission.snapshot(),
+            "catalog": self.catalog.info(),
+            "pool": None if self.pool is None else self.pool.stats(),
+            "sessions": sessions,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._workers.clear()
+        for s in sessions:
+            s.close()
+        if self.pool is not None:
+            self.pool.close()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise ServiceError("the service is closed")
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QueryService(M={self.M}, B={self.B}, "
+                f"sessions={len(self._sessions)}, "
+                f"pool={'on' if self.pool else 'off'})")

@@ -1,0 +1,231 @@
+"""The admission controller: one global budget, many queries.
+
+The invariant the service layer rests on — at every instant the sum of
+granted budgets stays within ``M`` — is checked three ways: directly,
+as a hypothesis property over random grant/release interleavings, and
+under a real thread stress.  The failure paths (reject, timeout,
+double release) and both fairness policies are covered alongside.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server import (AdmissionController, AdmissionError,
+                          AdmissionRejected, AdmissionTimeout)
+
+
+class TestGrantRelease:
+    def test_grant_and_release_round_trip(self):
+        ac = AdmissionController(100)
+        g = ac.acquire(60)
+        assert ac.granted == 60 and ac.available == 40
+        ac.release(g)
+        assert ac.granted == 0 and ac.available == 100
+
+    def test_zero_need_is_a_valid_grant(self):
+        ac = AdmissionController(10)
+        g = ac.acquire(0)
+        assert ac.granted == 0
+        ac.release(g)
+        assert ac.stats["released"] == 1
+
+    def test_negative_need_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(10).acquire(-1)
+
+    def test_need_above_budget_rejected_outright(self):
+        ac = AdmissionController(100)
+        with pytest.raises(AdmissionRejected):
+            ac.acquire(101)
+        assert ac.stats["rejected"] == 1
+        assert ac.queue_depth == 0  # never even queued
+
+    def test_double_release_caught(self):
+        ac = AdmissionController(10)
+        g = ac.acquire(5)
+        ac.release(g)
+        with pytest.raises(AdmissionError):
+            ac.release(g)
+        assert ac.granted == 0  # not driven negative
+
+    def test_try_acquire_non_blocking(self):
+        ac = AdmissionController(10)
+        g = ac.try_acquire(8)
+        assert g is not None
+        assert ac.try_acquire(8) is None  # over budget: None, no wait
+        ac.release(g)
+        assert ac.try_acquire(8) is not None
+
+    def test_admit_context_manager_always_releases(self):
+        ac = AdmissionController(10)
+        with ac.admit(7):
+            assert ac.granted == 7
+        assert ac.granted == 0
+        with pytest.raises(RuntimeError, match="boom"):
+            with ac.admit(7):
+                raise RuntimeError("boom")
+        assert ac.granted == 0
+
+    def test_snapshot_separates_live_and_lifetime(self):
+        ac = AdmissionController(10)
+        g = ac.acquire(4)
+        ac.release(g)
+        snap = ac.snapshot()
+        assert snap["granted"] == 0  # live value, not the counter
+        assert snap["admitted"] == 1
+        assert snap["released"] == 1
+        assert snap["peak_granted"] == 4
+
+
+class TestQueueing:
+    def test_timeout_when_budget_never_frees(self):
+        ac = AdmissionController(10)
+        g = ac.acquire(10)
+        with pytest.raises(AdmissionTimeout):
+            ac.acquire(5, timeout=0.05)
+        assert ac.stats["timeouts"] == 1
+        assert ac.queue_depth == 0  # the waiter removed itself
+        ac.release(g)
+        ac.release(ac.acquire(5, timeout=0.05))  # now it fits
+
+    def test_timeout_zero_fails_fast(self):
+        ac = AdmissionController(10)
+        g = ac.acquire(10)
+        with pytest.raises(AdmissionTimeout):
+            ac.acquire(1, timeout=0)
+        ac.release(g)
+
+    def test_waiter_served_on_release(self):
+        ac = AdmissionController(10)
+        g = ac.acquire(10)
+        got: list[object] = []
+
+        def waiter():
+            got.append(ac.acquire(10, timeout=5))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        while ac.queue_depth == 0:  # until the waiter is parked
+            pass
+        ac.release(g)
+        t.join(timeout=5)
+        assert not t.is_alive() and got[0].amount == 10
+
+    def test_fifo_head_of_line_blocks_smaller(self):
+        ac = AdmissionController(10, policy="fifo")
+        g = ac.acquire(8)
+        order: list[str] = []
+
+        def queued(name, need):
+            grant = ac.acquire(need, timeout=5)
+            order.append(name)
+            ac.release(grant)
+
+        big = threading.Thread(target=queued, args=("big", 10))
+        big.start()
+        while ac.queue_depth < 1:
+            pass
+        small = threading.Thread(target=queued, args=("small", 2))
+        small.start()
+        while ac.queue_depth < 2:
+            pass
+        # 2 tuples are free, but FIFO holds "small" behind "big".
+        assert order == []
+        ac.release(g)
+        big.join(timeout=5)
+        small.join(timeout=5)
+        assert order == ["big", "small"]
+
+    def test_smallest_first_overtakes(self):
+        ac = AdmissionController(10, policy="smallest-first")
+        g = ac.acquire(8)
+        order: list[str] = []
+
+        def queued(name, need):
+            grant = ac.acquire(need, timeout=5)
+            order.append(name)
+            ac.release(grant)
+
+        big = threading.Thread(target=queued, args=("big", 10))
+        big.start()
+        while ac.queue_depth < 1:
+            pass
+        small = threading.Thread(target=queued, args=("small", 2))
+        small.start()
+        small.join(timeout=5)  # overtakes: 2 fits beside the held 8
+        assert order == ["small"]
+        ac.release(g)
+        big.join(timeout=5)
+        assert order == ["small", "big"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(10, policy="largest-first")
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestBudgetInvariant:
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("acquire"), st.integers(0, 12)),
+            st.tuples(st.just("release"), st.integers(0, 30)),
+        ),
+        max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_sum_of_grants_never_exceeds_budget(self, script):
+        """Random non-blocking acquire/release interleavings: the
+        controller's granted total always matches a model ledger and
+        never exceeds the budget."""
+        budget = 10
+        ac = AdmissionController(budget)
+        live: list = []
+        ledger = 0
+        for op, arg in script:
+            if op == "acquire":
+                if arg > budget:  # impossible need: rejected outright
+                    with pytest.raises(AdmissionRejected):
+                        ac.try_acquire(arg)
+                    continue
+                g = ac.try_acquire(arg)
+                if g is not None:
+                    live.append(g)
+                    ledger += arg
+                else:
+                    assert ledger + arg > budget
+            elif live:
+                g = live.pop(arg % len(live))
+                ac.release(g)
+                ledger -= g.amount
+            assert ac.granted == ledger
+            assert 0 <= ac.granted <= budget
+        assert ac.snapshot()["in_flight"] == len(live)
+
+    def test_threaded_stress_respects_budget(self):
+        """Blocking acquires from many threads: sampled grant totals
+        never exceed the budget and everything drains."""
+        budget = 16
+        ac = AdmissionController(budget)
+        violations: list[int] = []
+
+        def worker(need):
+            for _ in range(25):
+                with ac.admit(need, timeout=10):
+                    seen = ac.granted
+                    if seen > budget:
+                        violations.append(seen)
+
+        threads = [threading.Thread(target=worker, args=(need,))
+                   for need in (3, 5, 7, 11, 16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert violations == []
+        assert ac.granted == 0 and ac.queue_depth == 0
+        assert ac.stats["admitted"] == 5 * 25
+        assert ac.stats["released"] == 5 * 25

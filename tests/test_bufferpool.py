@@ -132,6 +132,110 @@ class TestPinning:
             dev.pool.unpin("f", 0)
 
 
+class TestOwnerPins:
+    """Owner-attributed pins: the surface the server's shared pool
+    stands on (sessions pin as themselves; closing one must not
+    disturb the others)."""
+
+    def test_pins_attributed_per_owner(self):
+        pool = pool_device(frames=4).pool
+        pool.pin("f", 0, owner="a")
+        pool.pin("f", 0, owner="b")   # same frame, two owners
+        pool.pin("f", 1, owner="b")
+        acct = pool.pin_accounting()
+        assert acct["a"] == {"frames": 1, "pins": 1}
+        assert acct["b"] == {"frames": 2, "pins": 2}
+        assert pool.owner_pins("b") == 2
+        assert pool.pin_count("f", 0) == 2
+
+    def test_unpin_requires_matching_owner(self):
+        pool = pool_device(frames=2).pool
+        pool.pin("f", 0, owner="a")
+        with pytest.raises(BufferPoolError):
+            pool.unpin("f", 0, owner="b")
+        pool.unpin("f", 0, owner="a")
+        assert pool.pin_accounting() == {}
+
+    def test_release_owner_spares_other_owners(self):
+        """The cross-session pin-leak regression at the pool level:
+        one owner leaving must drop its pins and *only* its pins."""
+        pool = pool_device(frames=2).pool
+        pool.pin("f", 0, owner="a")
+        pool.pin("f", 0, owner="b")
+        assert pool.release_owner("a") == 1
+        assert pool.pin_count("f", 0) == 1  # b's pin survives
+        pool.read_page("g", 0)
+        pool.read_page("g", 1)  # eviction pressure on both frames
+        assert pool.contains("f", 0)  # still protected by b
+        assert pool.release_owner("b") == 1
+        assert pool.release_owner("b") == 0  # idempotent
+
+    def test_fairness_cap_is_per_owner(self):
+        dev = Device(M=8, B=2, buffer_pool=PoolConfig(
+            frames=4, max_pin_share=0.5))
+        pool = dev.pool
+        pool.pin("f", 0, owner="a")
+        pool.pin("f", 1, owner="a")
+        with pytest.raises(BufferPoolError, match="fairness cap"):
+            pool.pin("f", 2, owner="a")
+        pool.pin("f", 2, owner="b")   # the cap is per owner, not global
+        pool.pin("f", 0, owner="a")   # held frame: no new frame counted
+        assert pool.owner_pins("a") == 3
+
+    def test_via_routes_charges_to_accessing_device(self):
+        """Cross-query accounting: the pool's anchor device stays at
+        zero; the device passed as ``via`` pays (and benefits)."""
+        anchor = pool_device(frames=4)
+        other = Device(M=8, B=2)
+        pool = anchor.pool
+        pool.read_page("f", 0, via=other)   # miss: physical read
+        pool.read_page("f", 0, via=other)   # hit
+        pool.write_page("f", 0, via=other)  # deferred
+        pool.flush(device=other)            # write-back, charged now
+        assert anchor.stats.reads == 0 and anchor.stats.writes == 0
+        assert anchor.stats.cache.hits == 0
+        assert other.stats.reads == 1 and other.stats.writes == 1
+        assert other.stats.cache.hits == 1
+        assert other.stats.cache.writebacks == 1
+
+    def test_flush_per_device_writes_only_own_dirt(self):
+        anchor = pool_device(frames=4)
+        a, b = Device(M=8, B=2), Device(M=8, B=2)
+        pool = anchor.pool
+        pool.write_page("f", 0, via=a)
+        pool.write_page("g", 0, via=b)
+        pool.flush(device=a)
+        assert a.stats.writes == 1 and b.stats.writes == 0
+        pool.flush()  # no filter: the rest goes back too
+        assert b.stats.writes == 1
+
+    @pytest.mark.parametrize("reset", ["close", "clear"])
+    def test_close_and_clear_reset_pin_accounting(self, reset):
+        """close()/clear() must forget owner pins with the frames —
+        stale accounting would wrongly trip the fairness cap and block
+        release_owner bookkeeping on the next query."""
+        pool = pool_device(frames=2).pool
+        pool.pin("f", 0, owner="a")
+        pool.pin("f", 1, owner="a")
+        getattr(pool, reset)()
+        assert pool.pin_accounting() == {}
+        assert pool.resident_pages == 0
+        pool.pin("f", 0, owner="a")  # accounting restarts cleanly
+        assert pool.owner_pins("a") == 1
+
+    def test_drop_matching_spares_pinned_and_dirty(self):
+        pool = pool_device(frames=4).pool
+        pool.pin("f", 0, owner="a")
+        pool.write_page("g", 0)       # dirty
+        pool.read_page("h", 0)        # clean, droppable
+        assert pool.drop_matching(lambda key: True) == 1
+        assert pool.contains("f", 0) and pool.contains("g", 0)
+        assert not pool.contains("h", 0)
+        assert pool.drop_matching(lambda key: True,
+                                  include_dirty=True) == 1
+        assert pool.contains("f", 0)  # pinned frames never dropped
+
+
 class TestDirtyPages:
     def test_writes_deferred_then_counted_exactly_once(self):
         dev = pool_device(frames=2, M=8, B=2)

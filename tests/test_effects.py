@@ -13,8 +13,10 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
-from repro.lint import (Baseline, build_program, check_source, evaluate,
-                        lint_paths, signature_table, write_baseline)
+from repro.lint import (Baseline, build_program, check_source,
+                        compact_effect_signatures,
+                        compare_effect_signatures, evaluate, lint_paths,
+                        signature_table, write_baseline)
 from repro.lint.callgraph import UNKNOWN, strongly_connected
 from repro.lint.effects import EFFECTS_SCHEMA_VERSION
 
@@ -31,14 +33,14 @@ def tree(tmp_path, files):
     return lint_paths([tmp_path / "src"], root=tmp_path)
 
 
-def program_of(files):
+def program_of(files, **kwargs):
     """Build a Program straight from in-memory sources."""
     modules = []
     for rel, source in files.items():
         path = f"src/repro/{rel}"
         pkg = tuple(Path(rel).parts)
         modules.append((path, source, ast.parse(source), pkg))
-    return build_program(modules)
+    return build_program(modules, **kwargs)
 
 
 # ------------------------------------------------- the acceptance proof
@@ -375,6 +377,207 @@ class TestSignatureTable:
         assert rc == 0
         out = capsys.readouterr().out
         assert '"schema_version"' in out
+
+
+# ------------------------------------------------- effects drift gate
+
+
+class TestEffectsDriftGate:
+    """The CI gate on the inferred-signature table: an effect change
+    without a matching ``# em-effects:`` declaration update fails."""
+
+    CLEAN = ("def f():\n"
+             "    return 1\n")
+    LEAKY = ("def f():\n"
+             "    return open('x')\n")
+    DECLARED = ("def f():  # em-effects: PHYS_IO -- now loads bytes\n"
+                "    return open('x')\n")
+
+    def _table(self, tmp_path, source):
+        return tree(tmp_path, {"em/mod.py": source}).signatures
+
+    def test_compact_round_trip(self, tmp_path):
+        table = self._table(tmp_path, self.CLEAN)
+        compact = compact_effect_signatures(table)
+        assert compact["schema_version"] == EFFECTS_SCHEMA_VERSION
+        assert compact["signatures"]["repro.em.mod.f"] == {
+            "effects": [], "declared": []}
+
+    def test_identical_tables_pass(self, tmp_path):
+        table = self._table(tmp_path, self.CLEAN)
+        committed = compact_effect_signatures(table)
+        failures, notices = compare_effect_signatures(committed, table)
+        assert failures == [] and notices == []
+
+    def test_undeclared_effect_change_fails(self, tmp_path):
+        committed = compact_effect_signatures(
+            self._table(tmp_path, self.CLEAN))
+        new = self._table(tmp_path / "b", self.LEAKY)
+        failures, _ = compare_effect_signatures(committed, new)
+        (failure,) = failures
+        assert "repro.em.mod.f" in failure
+        assert "em-effects" in failure
+
+    def test_declared_effect_change_is_a_notice(self, tmp_path):
+        committed = compact_effect_signatures(
+            self._table(tmp_path, self.CLEAN))
+        new = self._table(tmp_path / "b", self.DECLARED)
+        failures, notices = compare_effect_signatures(committed, new)
+        assert failures == []
+        assert any("repro.em.mod.f" in n for n in notices)
+
+    def test_added_and_removed_are_notices(self, tmp_path):
+        committed = compact_effect_signatures(
+            self._table(tmp_path, self.CLEAN))
+        new = tree(tmp_path / "b", {"em/other.py": self.CLEAN}).signatures
+        failures, notices = compare_effect_signatures(committed, new)
+        assert failures == []
+        assert any("removed" in n for n in notices)
+        assert any("added" in n for n in notices)
+
+    def test_cli_write_then_check(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro" / "em"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(self.CLEAN)
+        baseline = tmp_path / "effects-baseline.json"
+        rc = main(["lint", str(tmp_path / "src"), "--root", str(tmp_path),
+                   "--no-baseline",
+                   "--write-effects-baseline", str(baseline)])
+        assert rc == 0
+        doc = json.loads(baseline.read_text())
+        assert "repro.em.mod.f" in doc["signatures"]
+        rc = main(["lint", str(tmp_path / "src"), "--root", str(tmp_path),
+                   "--no-baseline", "--check-effects", str(baseline)])
+        assert rc == 0
+        assert "checked against" in capsys.readouterr().out
+
+    def test_cli_check_fails_on_drift(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro" / "em"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(self.CLEAN)
+        baseline = tmp_path / "effects-baseline.json"
+        assert main(["lint", str(tmp_path / "src"), "--root",
+                     str(tmp_path), "--no-baseline",
+                     "--write-effects-baseline", str(baseline)]) == 0
+        (src / "mod.py").write_text(self.LEAKY)
+        rc = main(["lint", str(tmp_path / "src"), "--root", str(tmp_path),
+                   "--no-baseline", "--check-effects", str(baseline)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_check_bad_baseline_path(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro" / "em"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(self.CLEAN)
+        rc = main(["lint", str(tmp_path / "src"), "--root", str(tmp_path),
+                   "--no-baseline",
+                   "--check-effects", str(tmp_path / "missing.json")])
+        assert rc == 2
+
+    def test_schema_version_move_is_a_notice(self, tmp_path):
+        table = self._table(tmp_path, self.CLEAN)
+        committed = compact_effect_signatures(table)
+        committed["schema_version"] = "0.0"
+        failures, notices = compare_effect_signatures(committed, table)
+        assert failures == []
+        assert any("schema version" in n for n in notices)
+
+
+# ------------------------------------------------- class hierarchy
+
+
+class TestClassHierarchy:
+    """Inheritance-aware resolution of self/cls/super() calls shrinks
+    the UNKNOWN set (this PR's lint satellite)."""
+
+    BASE = ("class Base:\n"
+            "    def run(self):\n"
+            "        return open('x')\n")
+
+    def test_inherited_self_call_resolves_to_parent(self):
+        prog = program_of({
+            "em/base.py": self.BASE,
+            "em/sub.py": ("from repro.em.base import Base\n"
+                          "class Sub(Base):\n"
+                          "    def go(self):\n"
+                          "        return self.run()\n"),
+        })
+        fn = prog.nodes["repro.em.sub.Sub.go"]
+        assert fn.edges == ["repro.em.base.Base.run"]
+        assert fn.unknown_calls == []
+
+    def test_flat_mode_falls_back_to_method_index(self):
+        # The same call without hierarchy: `run` is still found through
+        # the flat name index (union over all methods so named), so the
+        # hierarchy's win here is precision, not reach.
+        prog = program_of({
+            "em/base.py": self.BASE,
+            "em/sub.py": ("from repro.em.base import Base\n"
+                          "class Sub(Base):\n"
+                          "    def go(self):\n"
+                          "        return self.run()\n"),
+        }, class_hierarchy=False)
+        fn = prog.nodes["repro.em.sub.Sub.go"]
+        assert "repro.em.base.Base.run" in fn.edges
+
+    def test_super_call_resolves_above(self):
+        prog = program_of({
+            "em/base.py": self.BASE,
+            "em/sub.py": ("from repro.em.base import Base\n"
+                          "class Sub(Base):\n"
+                          "    def run(self):\n"
+                          "        return super().run()\n"),
+        })
+        fn = prog.nodes["repro.em.sub.Sub.run"]
+        # Not a self-loop: super() skips the override.
+        assert fn.edges == ["repro.em.base.Base.run"]
+        assert UNKNOWN not in fn.intrinsic
+
+    def test_cls_constructor_idiom(self):
+        prog = program_of({
+            "em/c.py": ("class C:\n"
+                        "    def __init__(self):\n"
+                        "        self.x = open('x')\n"
+                        "    @classmethod\n"
+                        "    def make(cls):\n"
+                        "        return cls()\n"),
+        })
+        fn = prog.nodes["repro.em.c.C.make"]
+        assert fn.edges == ["repro.em.c.C.__init__"]
+        assert UNKNOWN not in fn.intrinsic
+
+    def test_pure_external_base_methods(self):
+        prog = program_of({
+            "lint/v.py": ("import ast\n"
+                          "class V(ast.NodeVisitor):\n"
+                          "    def visit_Call(self, node):\n"
+                          "        self.generic_visit(node)\n"),
+        })
+        fn = prog.nodes["repro.lint.v.V.visit_Call"]
+        assert fn.unknown_calls == []
+        assert UNKNOWN not in fn.intrinsic
+
+    def test_unknown_count_drops_on_this_repo(self):
+        """The satellite's acceptance check, run on the real sources:
+        hierarchy-aware resolution strictly shrinks the set of
+        functions with UNKNOWN in their own (intrinsic) effects."""
+        root = Path(__file__).resolve().parent.parent
+        modules = []
+        for f in sorted((root / "src").rglob("*.py")):
+            if "__pycache__" in f.parts:
+                continue
+            rel = f.relative_to(root).as_posix()
+            source = f.read_text(encoding="utf-8")
+            pkg = tuple(f.relative_to(root / "src" / "repro").parts)
+            modules.append((rel, source, ast.parse(source), pkg))
+        flat = build_program(modules, class_hierarchy=False)
+        hier = build_program(modules, class_hierarchy=True)
+
+        def unknowns(prog):
+            return sum(1 for fn in prog.nodes.values()
+                       if UNKNOWN in fn.intrinsic)
+
+        assert unknowns(hier) < unknowns(flat)
 
 
 # -------------------------------------------------------- EM002 widen

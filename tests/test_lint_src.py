@@ -35,7 +35,7 @@ def test_src_tree_is_clean_under_committed_baseline():
 
 @pytest.mark.parametrize("layer", ["em", "core", "obs", "query", "data",
                                    "analysis", "internal", "workloads",
-                                   "lint"])
+                                   "lint", "server"])
 def test_layer_has_zero_violations(layer):
     """Per-layer zero-violation assertion (no baseline crutch)."""
     result = lint_paths([SRC / "repro" / layer], root=ROOT)
