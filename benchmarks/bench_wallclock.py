@@ -1,0 +1,395 @@
+"""Wall-clock benchmark: block-at-a-time vs tuple-at-a-time execution.
+
+The I/O counters of this repo are simulated and deterministic; wall
+clock is the one axis where the columnar/block refactor must prove
+itself.  This benchmark runs every rewritten cursor-bound operator at
+sizes large enough for interpreter overhead to dominate, once with
+``block_mode=True`` (the default block paths) and once with
+``block_mode=False`` (the tuple-at-a-time reference paths), on the
+same machine in the same process — so the ratio is machine-independent
+even though the absolute seconds are not.
+
+Two groups of cases:
+
+* **gated** — operators whose cost is cursor overhead: sequential
+  scans, group-boundary scans, filtered scans, light-chunk loads, and
+  the semijoin merge pass.  These are what the block refactor targets;
+  the CI gate holds their geo-mean speedup.
+* **context** (``in_gate: false``) — end-to-end workloads (external
+  sort, the full reducer, joins) whose wall clock mixes cursor work
+  with costs block execution cannot remove: the Python merge heap,
+  ``list.sort``, and the emit model's per-result dict+hash.  Reported
+  for honesty about whole-query impact, not gated.
+
+``--check-baseline`` (the CI gate) re-measures and fails if
+
+- any case's I/O counters or result counts differ between the two
+  modes (the byte-identity invariant, fully deterministic), or
+- the geo-mean speedup over the gated cases falls below the committed
+  ``gate_min_speedup`` (generous: far below the measured speedup, so
+  scheduler noise cannot flake the gate, while a regression that
+  loses the block advantage still fails).
+
+Usage::
+
+    python benchmarks/bench_wallclock.py                  # print table
+    python benchmarks/bench_wallclock.py --write-baseline
+    python benchmarks/bench_wallclock.py --check-baseline \
+        --profile-out wallclock_spans.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from _util import print_table  # noqa: E402 - benchmarks/ sibling import
+
+from repro import Device, Instance
+from repro.core import CountingEmitter
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.em import external_sort
+from repro.em.loaders import (group_boundaries, load_chunks,
+                              load_light_chunks, scan_matching,
+                              split_heavy_light)
+from repro.obs.spans import SpanProfiler
+
+BASELINE = Path(__file__).with_name("BENCH_wallclock.json")
+
+#: The gate threshold committed into the baseline.  Measured speedups
+#: are far higher (see BENCH_wallclock.json); the gate only has to
+#: catch "the block paths stopped being faster", not defend the exact
+#: factor against CPU scheduling noise.
+GATE_MIN_SPEEDUP = 1.5
+
+
+# -- cases -------------------------------------------------------------
+#
+# Each case is a (setup, run) pair: ``setup(device)`` builds the input
+# files (untimed — writing the instance takes the same block fast path
+# in both modes) and ``run(device, state)`` executes the measured
+# workload, returning a result count.  Sizes are chosen so each
+# tuple-at-a-time leg takes a noticeable fraction of a second — large
+# enough to measure, small enough for CI.
+
+
+def _fill(device, rows, name="src"):
+    f = device.new_file(name)
+    with f.writer() as w:
+        w.extend(rows)
+    return f
+
+
+def _seq_scan_setup(device):
+    return _fill(device, [(i, i * 3) for i in range(120_000)])
+
+
+def _seq_scan(device, f):
+    n = 0
+    for chunk in load_chunks(f.whole(), device.M):
+        n += len(chunk)
+    return n
+
+
+def _group_scan_setup(device):
+    return _fill(device, [(i // 64, i) for i in range(120_000)])
+
+
+def _group_scan(device, f):
+    return len(group_boundaries(f.whole(), lambda t: t[0]))
+
+
+def _filter_scan_setup(device):
+    return _fill(device, [(i % 2048, i) for i in range(120_000)])
+
+
+def _filter_scan(device, f):
+    wanted = set(range(0, 2048, 3))
+    return sum(1 for _ in scan_matching(f.whole(), lambda t: t[0],
+                                        wanted))
+
+
+def _light_loads_setup(device):
+    return _fill(device, [(i // 8, i) for i in range(60_000)])
+
+
+def _light_loads(device, f):
+    groups = group_boundaries(f.whole(), lambda t: t[0])
+    _, light = split_heavy_light(groups, device.M)
+    n = 0
+    for chunk in load_light_chunks(f.whole(), light, device.M):
+        n += len(chunk)
+    return n
+
+
+def _semijoin_merge_setup(device):
+    # Pre-sorted inputs so the measurement isolates the merge pass of
+    # the reducer (sort_by is a no-op on them).
+    n = 60_000
+    left = Relation.from_tuples(device, RelationSchema("e1", ("v", "x")),
+                                [(i, i * 3) for i in range(n)])
+    right = Relation.from_tuples(device,
+                                 RelationSchema("e2", ("v", "y")),
+                                 [(i * 2, i) for i in range(n // 2)])
+    return (dataclasses.replace(left, sorted_on="v"),
+            dataclasses.replace(right, sorted_on="v"))
+
+
+def _semijoin_merge(device, state):
+    from repro.core.reducer_em import _semijoin_em
+
+    left, right = state
+    return len(_semijoin_em(left, right, "v"))
+
+
+def _sort_setup(device):
+    n = 60_000
+    return _fill(device, [(i * 48271 % n, i) for i in range(n)])
+
+
+def _sort(device, f):
+    return len(external_sort(f, lambda t: t[0], name="sorted"))
+
+
+def _reduce_setup(device):
+    from repro.query import line_query
+    from repro.workloads import schemas_for
+
+    q = line_query(3)
+    n = 30_000
+    data = {"e1": [(i, i % 997) for i in range(n)],
+            "e2": [(i % 997, i % 499) for i in range(n)],
+            "e3": [(i % 499, i) for i in range(n)]}
+    return q, Instance.from_dicts(device, schemas_for(q), data)
+
+
+def _reduce(device, state):
+    from repro.core.reducer_em import full_reduce_em
+
+    q, instance = state
+    reduced = full_reduce_em(q, instance)
+    return sum(len(r) for r in reduced.values())
+
+
+def _line3_setup(device):
+    from repro.workloads import fig3_line3_instance
+
+    schemas, data = fig3_line3_instance(192, 192)
+    return Instance.from_dicts(device, schemas, data)
+
+
+def _line3(device, instance):
+    from repro.core import line3_join
+    from repro.query import line_query
+
+    emitter = CountingEmitter()
+    line3_join(line_query(3), instance, emitter)
+    return emitter.count
+
+
+def wallclock_cases() -> dict:
+    """Case name -> (setup, run, M, B, in_gate)."""
+    return {
+        "seq_scan_120k": (_seq_scan_setup, _seq_scan, 4096, 256, True),
+        "group_scan_120k": (_group_scan_setup, _group_scan,
+                            4096, 256, True),
+        "filter_scan_120k": (_filter_scan_setup, _filter_scan,
+                             4096, 256, True),
+        "light_loads_60k": (_light_loads_setup, _light_loads,
+                            4096, 256, True),
+        "semijoin_merge_60k": (_semijoin_merge_setup, _semijoin_merge,
+                               4096, 256, True),
+        "sort_60k": (_sort_setup, _sort, 4096, 256, False),
+        "reduce_line3_30k": (_reduce_setup, _reduce,
+                             4096, 256, False),
+        "line3_join_192": (_line3_setup, _line3, 64, 8, False),
+    }
+
+
+# -- measurement -------------------------------------------------------
+
+
+def _run_once(setup, run, M: int, B: int, *, block_mode: bool,
+              profiler: SpanProfiler | None = None) -> dict:
+    device = Device(M=M, B=B, block_mode=block_mode, profiler=profiler)
+    state = setup(device)
+    device.stats.reset()
+    t0 = time.perf_counter()
+    results = run(device, state)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "results": results,
+            "reads": device.stats.reads, "writes": device.stats.writes}
+
+
+def _operator_wall(profiler: SpanProfiler) -> dict[str, float]:
+    """Exclusive wall seconds per span name (children subtracted)."""
+    out: dict[str, float] = {}
+    for span in profiler.iter_spans():
+        if not span.closed:
+            continue
+        exclusive = span.wall_s - sum(c.wall_s for c in span.children
+                                      if c.closed)
+        out[span.name] = out.get(span.name, 0.0) + max(0.0, exclusive)
+    return out
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def measure(repeat: int = 3) -> dict:
+    """Measure all cases in both modes; return the baseline document."""
+    cases = {}
+    op_wall: dict[str, dict[str, float]] = {}
+    for name, (setup, run, M, B, in_gate) in wallclock_cases().items():
+        legs = {}
+        for mode_name, block in (("scalar", False), ("block", True)):
+            best = None
+            best_profile: dict[str, float] = {}
+            for _ in range(repeat):
+                profiler = SpanProfiler()
+                r = _run_once(setup, run, M, B, block_mode=block,
+                              profiler=profiler)
+                if best is None or r["wall_s"] < best["wall_s"]:
+                    best = r
+                    best_profile = _operator_wall(profiler)
+            legs[mode_name] = best
+            for op, secs in best_profile.items():
+                op_wall.setdefault(op, {}).setdefault(mode_name, 0.0)
+                op_wall[op][mode_name] += secs
+        if (legs["scalar"]["results"] != legs["block"]["results"]
+                or legs["scalar"]["reads"] != legs["block"]["reads"]
+                or legs["scalar"]["writes"] != legs["block"]["writes"]):
+            raise AssertionError(
+                f"{name}: block mode changed deterministic counters: "
+                f"scalar={legs['scalar']} block={legs['block']}")
+        cases[name] = {
+            "scalar_s": round(legs["scalar"]["wall_s"], 4),
+            "block_s": round(legs["block"]["wall_s"], 4),
+            "speedup": round(legs["scalar"]["wall_s"]
+                             / legs["block"]["wall_s"], 2),
+            "in_gate": in_gate,
+            "io": legs["block"]["reads"] + legs["block"]["writes"],
+            "results": legs["block"]["results"],
+        }
+    gated = [c["speedup"] for c in cases.values() if c["in_gate"]]
+    operators = {
+        op: {"scalar_s": round(w.get("scalar", 0.0), 4),
+             "block_s": round(w.get("block", 0.0), 4),
+             "speedup": (round(w["scalar"] / w["block"], 2)
+                         if w.get("block", 0.0) > 1e-9
+                         and "scalar" in w else None)}
+        for op, w in sorted(op_wall.items())}
+    return {
+        "meta": {
+            "source": "benchmarks/bench_wallclock.py",
+            "note": ("absolute seconds are machine-dependent; the "
+                     "gate checks the block/scalar ratio measured on "
+                     "one machine in one process, over the in_gate "
+                     "cases only (end-to-end cases are context)"),
+            "repeat": repeat,
+        },
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+        "geomean_speedup": round(_geomean(gated), 2),
+        "geomean_all": round(_geomean(
+            [c["speedup"] for c in cases.values()]), 2),
+        "cases": cases,
+        "operators": operators,
+    }
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def _rows(doc: dict) -> list[dict]:
+    return [{"case": name, **vals} for name, vals in
+            sorted(doc["cases"].items())]
+
+
+def check_baseline_cmd(doc: dict) -> int:
+    if not BASELINE.exists():
+        print(f"error: no committed baseline at {BASELINE}; create "
+              f"one with --write-baseline", file=sys.stderr)
+        return 1
+    committed = json.loads(BASELINE.read_text(encoding="utf-8"))
+    gate = committed.get("gate_min_speedup", GATE_MIN_SPEEDUP)
+    failures = []
+    missing = set(committed["cases"]) - set(doc["cases"])
+    if missing:
+        failures.append(f"cases vanished from the sweep: "
+                        f"{sorted(missing)}")
+    for name, vals in doc["cases"].items():
+        pinned = committed["cases"].get(name)
+        if pinned is None:
+            continue  # a new case is fine until pinned
+        for k in ("io", "results"):
+            if vals[k] != pinned[k]:
+                failures.append(
+                    f"{name}.{k}: {pinned[k]} -> {vals[k]} "
+                    f"(deterministic counter drifted)")
+    if doc["geomean_speedup"] < gate:
+        failures.append(
+            f"gated geo-mean block speedup "
+            f"{doc['geomean_speedup']:.2f}x fell below the gate "
+            f"{gate:.2f}x (committed measurement: "
+            f"{committed['geomean_speedup']:.2f}x)")
+    if failures:
+        print(f"WALL-CLOCK GATE FAILED against {BASELINE} "
+              f"({len(failures)} problem(s)):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"wall-clock gate OK: gated geo-mean speedup "
+          f"{doc['geomean_speedup']:.2f}x >= {gate:.2f}x, "
+          f"{len(doc['cases'])} cases' counters match {BASELINE}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write-baseline", action="store_true",
+                      help=f"measure and write {BASELINE.name}")
+    mode.add_argument("--check-baseline", action="store_true",
+                      help="measure and gate against the committed "
+                           "baseline (ratio + deterministic counters)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per leg (min wins)")
+    parser.add_argument("--profile-out", default=None,
+                        help="write the per-operator wall-clock "
+                             "breakdown to this JSON file (CI artifact)")
+    args = parser.parse_args(argv)
+
+    doc = measure(repeat=args.repeat)
+    print_table("block vs tuple-at-a-time wall clock", _rows(doc))
+    print(f"\ngeo-mean speedup: {doc['geomean_speedup']:.2f}x gated "
+          f"(gate: >= {doc['gate_min_speedup']:.2f}x), "
+          f"{doc['geomean_all']:.2f}x over all cases")
+
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as fh:
+            json.dump({"operators": doc["operators"],
+                       "meta": doc["meta"]}, fh, indent=1,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote per-operator profile to {args.profile_out}")
+
+    if args.write_baseline:
+        BASELINE.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote wall-clock baseline to {BASELINE}")
+        return 0
+    if args.check_baseline:
+        return check_baseline_cmd(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ Emitters:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Protocol, Sequence
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
 
 Result = Mapping[str, tuple]
 
@@ -28,6 +28,25 @@ class Emitter(Protocol):
 
     def emit(self, result: Result) -> None:  # pragma: no cover - protocol
         ...
+
+
+def emit_block(emitter: "Emitter", results: Iterable[Result]) -> None:
+    """Hand a whole block of results to ``emitter``.
+
+    The block operators' counterpart to :meth:`Emitter.emit`: emitters
+    that implement ``emit_block`` (all the ones in this module) absorb
+    the block in one call; duck-typed emitters without it get the
+    per-result loop they always got.  Semantically identical to calling
+    ``emit`` on each result in order — blocks only amortize the call
+    overhead.
+    """
+    bulk = getattr(emitter, "emit_block", None)
+    if bulk is not None:
+        bulk(results)
+    else:
+        emit = emitter.emit
+        for r in results:
+            emit(r)
 
 
 class CountingEmitter:
@@ -47,6 +66,14 @@ class CountingEmitter:
         self.count += 1
         self.checksum ^= hash(frozenset(result.items()))
 
+    def emit_block(self, results: Iterable[Result]) -> None:
+        checksum, n = self.checksum, 0
+        for r in results:
+            checksum ^= hash(frozenset(r.items()))
+            n += 1
+        self.checksum = checksum
+        self.count += n
+
     def signature(self) -> tuple[int, int]:
         return (self.count, self.checksum)
 
@@ -59,6 +86,9 @@ class CollectingEmitter:
 
     def emit(self, result: Result) -> None:
         self.results.append(dict(result))
+
+    def emit_block(self, results: Iterable[Result]) -> None:
+        self.results.extend(dict(r) for r in results)
 
     @property
     def count(self) -> int:
@@ -93,6 +123,10 @@ class AssignmentEmitter:
                 merged[attr] = value
         self.assignments.append(tuple(sorted(merged.items())))
 
+    def emit_block(self, results: Iterable[Result]) -> None:
+        for r in results:
+            self.emit(r)
+
     @property
     def count(self) -> int:
         return len(self.assignments)
@@ -109,3 +143,8 @@ class CallbackEmitter:
 
     def emit(self, result: Result) -> None:
         self._fn(result)
+
+    def emit_block(self, results: Iterable[Result]) -> None:
+        fn = self._fn
+        for r in results:
+            fn(r)

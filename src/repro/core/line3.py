@@ -20,7 +20,7 @@ Emitted results carry all three participating tuples (emit model).
 
 from __future__ import annotations
 
-from repro.core.emit import CallbackEmitter, Emitter
+from repro.core.emit import CallbackEmitter, Emitter, emit_block
 from repro.core.twoway import sort_merge_join
 from repro.data.instance import Instance
 from repro.data.relation import Relation
@@ -87,11 +87,18 @@ def _heavy_values(r1s, r2s, r3s, v2, v3, heavy_groups, groups2,
         writer.close()
 
         seg1 = r1s.data.subsegment(g.start, g.stop)
+        n1, n2, n3 = r1s.name, r2s.name, r3s.name
         for chunk in load_chunks(seg1, M):
-            for t2, t3 in t_file.scan():
-                for t1 in chunk:  # all share v2 = a: cross-combine
-                    emitter.emit({r1s.name: t1, r2s.name: t2,
-                                  r3s.name: t3})
+            if device.block_mode:
+                for block in t_file.scan_blocks():
+                    emit_block(emitter, [
+                        {n1: t1, n2: t2, n3: t3}
+                        for t2, t3 in block
+                        for t1 in chunk])  # all share v2 = a
+            else:
+                for t2, t3 in t_file.scan():
+                    for t1 in chunk:  # all share v2 = a: cross-combine
+                        emitter.emit({n1: t1, n2: t2, n3: t3})
 
 
 def _light_values(r1s, r2s, r3s, v2, v3, light_groups, emitter) -> None:
@@ -109,10 +116,26 @@ def _light_values(r1s, r2s, r3s, v2, v3, light_groups, emitter) -> None:
             by_value.setdefault(t[i1], []).append(t)
         vmax = max(values)
         matched: list[tuple] = []
-        while not cursor2.exhausted and cursor2.peek()[i2] <= vmax:
-            t = cursor2.next()
-            if t[i2] in values:
-                matched.append(t)
+        if device.block_mode:
+            # Block take-while: fetch the current page (charged exactly
+            # as a peek would), consume the <= vmax prefix for free.
+            while not cursor2.exhausted:
+                page = cursor2.peek_page_block()
+                taken = 0
+                for t in page:
+                    if t[i2] > vmax:
+                        break
+                    taken += 1
+                    if t[i2] in values:
+                        matched.append(t)
+                cursor2.skip_to(cursor2.position + taken)
+                if taken < len(page):
+                    break
+        else:
+            while not cursor2.exhausted and cursor2.peek()[i2] <= vmax:
+                t = cursor2.next()
+                if t[i2] in values:
+                    matched.append(t)
         if not matched:
             continue
         r2m = r2s.rewrite(matched, label="sj", sorted_on=v2)

@@ -1,8 +1,10 @@
 """On-disk tuple files for the simulated external-memory machine.
 
 An :class:`EMFile` is an append-only sequence of tuples laid out in
-pages of ``B`` tuples.  All access goes through cursors that charge the
-device's :class:`~repro.em.stats.IOStats`:
+pages of ``B`` tuples.  Physically the tuples live in a columnar
+:class:`~repro.em.pages.ColumnStore` (struct-packed ``array`` columns
+for integers); logically nothing changes — all access goes through
+cursors that charge the device's :class:`~repro.em.stats.IOStats`:
 
 * :class:`Writer` buffers up to ``B`` tuples and charges one write per
   flushed page (including the final partial page).
@@ -13,11 +15,36 @@ device's :class:`~repro.em.stats.IOStats`:
 A :class:`FileSegment` is a contiguous ``[start, stop)`` slice of a
 file — e.g. ``R(e)|_{v=a}`` inside a file sorted on ``v`` — and reads
 through the same page-granular accounting.
+
+Block APIs
+----------
+
+Cursors also move whole blocks so operators can amortize the Python
+interpreter over many tuples per call:
+
+* :meth:`SequentialReader.read_block` — up to ``n`` tuples in one call;
+* :meth:`SequentialReader.read_page_block` — the rest of the current
+  page (never more than ``B`` tuples, so it needs no memory hold);
+* :meth:`Writer.append_block` / :meth:`Writer.write_block` — bulk
+  append, flushing full pages as they fill.
+
+Every block call charges **exactly** the page I/Os the equivalent
+tuple-at-a-time loop would, in the same order: a block read entering
+pages ``p..q`` charges them ascending, just as ``next()`` would when
+crossing each boundary, and a block append charges one write per page
+at the same fill points ``append()`` flushes at.  Buffer-pool hit/miss
+sequences and tracer event streams are therefore byte-identical — the
+property the pinned baselines and the tracer-transparency tests
+enforce.  Blocks larger than one page occupy real memory; callers
+account for them with ``device.memory.hold`` exactly as they did for
+tuple loops that materialized the same chunk.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Sequence, TYPE_CHECKING
+
+from repro.em.pages import ColumnStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.em.device import Device
@@ -31,13 +58,14 @@ class EMFile:
 
     Files are created through :meth:`repro.em.device.Device.new_file`
     and populated through :meth:`writer`.  Once the writer is closed the
-    file is sealed and read-only.
+    file is sealed and read-only; sealing struct-packs the integer
+    columns of the backing :class:`~repro.em.pages.ColumnStore`.
     """
 
     def __init__(self, device: "Device", name: str) -> None:
         self.device = device
         self.name = name
-        self._tuples: list[Tuple] = []
+        self._store = ColumnStore()
         self._sealed = False
 
     # -- writing -----------------------------------------------------
@@ -51,33 +79,42 @@ class EMFile:
     # -- metadata ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._store)
 
     @property
     def n_pages(self) -> int:
         """Pages occupied on disk."""
-        return self.device.pages(len(self._tuples))
+        return self.device.pages(len(self._store))
+
+    @property
+    def column_kinds(self) -> tuple[str, ...]:
+        """Physical column layout (``"i64"`` packed / ``"obj"`` list)."""
+        return self._store.column_kinds
 
     # -- reading -----------------------------------------------------
 
     def reader(self) -> "SequentialReader":
         """A sequential reader over the whole file."""
-        return SequentialReader(self, 0, len(self._tuples))
+        return SequentialReader(self, 0, len(self._store))
 
     def segment(self, start: int, stop: int) -> "FileSegment":
         """The contiguous slice ``[start, stop)`` of this file."""
-        if not (0 <= start <= stop <= len(self._tuples)):
+        if not (0 <= start <= stop <= len(self._store)):
             raise IndexError(f"segment [{start}, {stop}) out of range "
-                             f"for file of length {len(self._tuples)}")
+                             f"for file of length {len(self._store)}")
         return FileSegment(self, start, stop)
 
     def whole(self) -> "FileSegment":
         """The file viewed as a single segment."""
-        return FileSegment(self, 0, len(self._tuples))
+        return FileSegment(self, 0, len(self._store))
 
     def scan(self) -> Iterator[Tuple]:
         """Iterate all tuples, charging sequential read I/Os."""
         return iter(self.reader())
+
+    def scan_blocks(self) -> Iterator[list[Tuple]]:
+        """Iterate page-sized blocks, charging the same read I/Os."""
+        return self.reader().blocks()
 
     def peek_tuples(self) -> Sequence[Tuple]:
         """Direct access to the stored tuples **without charging I/O**.
@@ -85,7 +122,7 @@ class EMFile:
         For test oracles and result verification only; algorithms must
         never call this.
         """
-        return self._tuples
+        return self._store.rows(0, len(self._store))
 
 
 class Writer:
@@ -104,17 +141,62 @@ class Writer:
         if len(self._buffer) >= self._file.device.B:
             self._flush()
 
+    def append_block(self, ts: Sequence[Tuple]) -> None:
+        """Append a whole block of tuples.
+
+        Charges one write per page filled, at exactly the fill points a
+        loop of :meth:`append` would flush at — only the per-tuple
+        Python overhead disappears.  Full pages bypass the staging
+        buffer and land in the columnar store directly.
+        """
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        f = self._file
+        B = f.device.B
+        buf = self._buffer
+        i, n = 0, len(ts)
+        if buf:
+            take = min(B - len(buf), n)
+            buf.extend(ts[:take])
+            i = take
+            if len(buf) >= B:
+                self._flush()
+        full = (n - i) // B
+        if full:
+            store = f._store
+            base = len(store) // B
+            stop = i + full * B
+            store.append_rows(ts[i:stop] if (i or stop != n) else ts)
+            charge = f.device.charge_write
+            for page in range(base, base + full):
+                charge(f, page)
+            i = stop
+        if i < n:
+            buf.extend(ts[i:])
+
+    #: Alias: a block write is a block append on an append-only file.
+    write_block = append_block
+
     def extend(self, ts) -> None:
-        """Append each tuple of ``ts``."""
+        """Append each tuple of ``ts``.
+
+        In-memory sequences take the :meth:`append_block` fast path;
+        lazy iterables keep the tuple-at-a-time loop so any I/O their
+        production charges stays interleaved exactly as before.
+        """
+        if isinstance(ts, (list, tuple)):
+            self.append_block(ts)
+            return
         for t in ts:
             self.append(t)
 
     def _flush(self) -> None:
         if self._buffer:
-            page = len(self._file._tuples) // self._file.device.B
-            self._file._tuples.extend(self._buffer)
+            f = self._file
+            page = len(f._store) // f.device.B
+            f._store.append_rows(self._buffer)
             self._buffer.clear()
-            self._file.device.charge_write(self._file, page)
+            f.device.charge_write(f, page)
 
     def close(self) -> None:
         """Flush the final partial page and seal the file."""
@@ -122,6 +204,7 @@ class Writer:
             self._flush()
             self._closed = True
             self._file._sealed = True
+            self._file._store.seal()
 
     def __enter__(self) -> "Writer":
         return self
@@ -144,6 +227,9 @@ class SequentialReader:
         self._pos = start
         self._stop = stop
         self._buffered_page = -1
+        # Materialized rows of the buffered page (tuple-at-a-time path).
+        self._page_rows: list[Tuple] | None = None
+        self._page_base = 0
 
     @property
     def position(self) -> int:
@@ -162,13 +248,20 @@ class SequentialReader:
         if page != self._buffered_page:
             self._file.device.charge_read(self._file, page)
             self._buffered_page = page
+            self._page_rows = None
 
     def peek(self) -> Tuple:
         """Return the next tuple without consuming it."""
         if self.exhausted:
             raise StopIteration("reader exhausted")
         self._touch(self._pos)
-        return self._file._tuples[self._pos]
+        if self._page_rows is None:
+            f = self._file
+            B = f.device.B
+            self._page_base = self._buffered_page * B
+            self._page_rows = f._store.rows(
+                self._page_base, min(self._page_base + B, len(f._store)))
+        return self._page_rows[self._pos - self._page_base]
 
     def next(self) -> Tuple:
         """Return the next tuple and advance."""
@@ -182,6 +275,74 @@ class SequentialReader:
         while len(out) < n and not self.exhausted:
             out.append(self.next())
         return out
+
+    def read_block(self, n: int) -> list[Tuple]:
+        """Read at most ``n`` further tuples as one block.
+
+        Charges each page entered exactly once, ascending — the same
+        pages, in the same order, a :meth:`next` loop over the block
+        would charge.  Blocks larger than ``B`` occupy more than the
+        reader's one-page buffer; the caller holds that memory (the
+        chunk loaders do).
+        """
+        if n <= 0 or self.exhausted:
+            return []
+        f = self._file
+        device = f.device
+        B = device.B
+        stop = min(self._pos + n, self._stop)
+        first = self._pos // B
+        last = (stop - 1) // B
+        page = first
+        if self._buffered_page == first:
+            page += 1
+        for p in range(page, last + 1):
+            device.charge_read(f, p)
+        if last != self._buffered_page:
+            self._buffered_page = last
+            self._page_rows = None
+        block = f._store.rows(self._pos, stop)
+        self._pos = stop
+        return block
+
+    def peek_page_block(self) -> list[Tuple]:
+        """The rest of the current page **without consuming it**.
+
+        Charges the page exactly as :meth:`peek` would (once, on first
+        entry); callers consume a prefix with :meth:`skip_to`.  This is
+        the block form of peek-bounded loops: fetch the page, decide in
+        memory how far the bound lets you go, advance for free.
+        """
+        if self.exhausted:
+            return []
+        self._touch(self._pos)
+        f = self._file
+        B = f.device.B
+        if self._page_rows is None:
+            self._page_base = self._buffered_page * B
+            self._page_rows = f._store.rows(
+                self._page_base, min(self._page_base + B, len(f._store)))
+        page_end = self._page_base + len(self._page_rows)
+        return self._page_rows[self._pos - self._page_base:
+                               min(page_end, self._stop) - self._page_base]
+
+    def read_page_block(self) -> list[Tuple]:
+        """Read from the cursor to the end of the current page.
+
+        At most ``B`` tuples — the natural streaming unit that fits the
+        reader's own one-page buffer, so no extra memory hold is
+        needed.
+        """
+        if self.exhausted:
+            return []
+        B = self._file.device.B
+        page_end = (self._pos // B + 1) * B
+        return self.read_block(min(page_end, self._stop) - self._pos)
+
+    def blocks(self) -> Iterator[list[Tuple]]:
+        """Iterate the remaining tuples one page block at a time."""
+        while not self.exhausted:
+            yield self.read_page_block()
 
     def skip_to(self, index: int) -> None:
         """Jump the cursor forward to absolute index ``index``.
@@ -232,6 +393,10 @@ class FileSegment:
     def scan(self) -> Iterator[Tuple]:
         return iter(self.reader())
 
+    def scan_blocks(self) -> Iterator[list[Tuple]]:
+        """Page-sized blocks of the segment, same charges as a scan."""
+        return self.reader().blocks()
+
     def subsegment(self, start: int, stop: int) -> "FileSegment":
         """Absolute-indexed sub-slice; must lie within this segment."""
         if not (self.start <= start <= stop <= self.stop):
@@ -240,4 +405,4 @@ class FileSegment:
 
     def peek_tuples(self) -> Sequence[Tuple]:
         """Uncharged access for test oracles only."""
-        return self.file._tuples[self.start:self.stop]
+        return self.file._store.rows(self.start, self.stop)

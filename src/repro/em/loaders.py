@@ -60,15 +60,32 @@ def group_boundaries(segment: FileSegment, key: Key) -> list[Group]:
     current_value: Any = None
     current_start = segment.start
     first = True
-    while not reader.exhausted:
-        pos = reader.position
-        t = reader.next()
-        v = key(t)
-        if first:
-            current_value, current_start, first = v, pos, False
-        elif v != current_value:
-            groups.append(Group(current_value, current_start, pos))
-            current_value, current_start = v, pos
+    if segment.device.block_mode:
+        pos = segment.start
+        append = groups.append
+        while not reader.exhausted:
+            block = reader.read_page_block()
+            keys = list(map(key, block))
+            if first and keys:
+                current_value, current_start, first = keys[0], pos, False
+            if keys[0] == keys[-1] and keys[0] == current_value:
+                pos += len(keys)  # whole page inside the current group
+                continue
+            for i, v in enumerate(keys):
+                if v != current_value:
+                    append(Group(current_value, current_start, pos + i))
+                    current_value, current_start = v, pos + i
+            pos += len(keys)
+    else:
+        while not reader.exhausted:
+            pos = reader.position
+            t = reader.next()
+            v = key(t)
+            if first:
+                current_value, current_start, first = v, pos, False
+            elif v != current_value:
+                groups.append(Group(current_value, current_start, pos))
+                current_value, current_start = v, pos
     if not first:
         groups.append(Group(current_value, current_start, segment.stop))
     return groups
@@ -88,8 +105,9 @@ def load_chunks(segment: FileSegment, M: int) -> Iterator[list[Tuple]]:
     files (and for one heavy group when applied to its segment).
     """
     reader = segment.reader()
+    block_mode = segment.device.block_mode
     while not reader.exhausted:
-        chunk = reader.read_up_to(M)
+        chunk = reader.read_block(M) if block_mode else reader.read_up_to(M)
         with segment.device.memory.hold(len(chunk)):
             yield chunk
 
@@ -114,20 +132,46 @@ def load_light_chunks(segment: FileSegment, light_groups: list[Group],
     file are skipped with a free seek; their pages are not charged.
     """
     reader = segment.reader()
+    block_mode = segment.device.block_mode
     chunk: list[Tuple] = []
     for g in light_groups:
         if g.count >= M:
             raise ValueError(
                 f"group for value {g.value!r} has {g.count} >= M={M} tuples; "
                 "light loader requires light groups only")
-        if reader.position < g.start:
-            reader.skip_to(g.start)
-        while reader.position < g.stop:
-            chunk.append(reader.next())
-        if len(chunk) >= M:
-            with segment.device.memory.hold(len(chunk)):
-                yield chunk
-            chunk = []
+    if block_mode:
+        # Batch contiguous groups into one span read per chunk: the
+        # span's pages are charged ascending on entry, exactly the
+        # sequence the per-group (and per-tuple) reads produce.  The
+        # span ends with the first group that lifts the chunk to >= M
+        # — the same group after which the scalar path yields.
+        i, n = 0, len(light_groups)
+        while i < n:
+            g = light_groups[i]
+            if reader.position < g.start:
+                reader.skip_to(g.start)
+            start = reader.position
+            stop = g.stop
+            while (stop - start + len(chunk) < M and i + 1 < n
+                   and light_groups[i + 1].start == stop):
+                i += 1
+                stop = light_groups[i].stop
+            chunk.extend(reader.read_block(stop - start))
+            if len(chunk) >= M:
+                with segment.device.memory.hold(len(chunk)):
+                    yield chunk
+                chunk = []
+            i += 1
+    else:
+        for g in light_groups:
+            if reader.position < g.start:
+                reader.skip_to(g.start)
+            while reader.position < g.stop:
+                chunk.append(reader.next())
+            if len(chunk) >= M:
+                with segment.device.memory.hold(len(chunk)):
+                    yield chunk
+                chunk = []
     if chunk:
         with segment.device.memory.hold(len(chunk)):
             yield chunk
@@ -141,6 +185,12 @@ def scan_matching(segment: FileSegment, key: Key,
     memory-resident (the caller charges it).  This is the semijoin
     primitive ``R(e') ⋉ M_1`` used when peeling light chunks.
     """
-    for t in segment.scan():
-        if key(t) in wanted:
-            yield t
+    if segment.device.block_mode:
+        for block in segment.scan_blocks():
+            for t in block:
+                if key(t) in wanted:
+                    yield t
+    else:
+        for t in segment.scan():
+            if key(t) in wanted:
+                yield t

@@ -1,0 +1,147 @@
+"""Columnar tuple storage backing :class:`~repro.em.file.EMFile`.
+
+A :class:`ColumnStore` holds the tuples of one file column-major: one
+typed buffer per attribute position instead of one Python tuple object
+per row.  Integer columns are struct-packed into ``array('q')`` (8-byte
+machine integers) when the file is sealed; everything else stays in a
+plain list column.  Rows are materialized back into tuples only at the
+block granularity readers ask for, with one C-level ``zip`` of column
+slices per block instead of one Python-level indexing chain per tuple.
+
+The store is a *physical layout* only: page structure (which rows share
+a page, what a page entry costs) remains the business of the cursors in
+:mod:`repro.em.file`, which charge the device exactly as the row-major
+layout did.  Nothing in here touches :class:`~repro.em.stats.IOStats`.
+
+Rows of unequal arity (rare, but legal for scratch files) switch the
+store to a row-major fallback so nothing is ever rejected.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterator, List, Sequence, Union
+
+Tuple = tuple
+
+#: Column buffer: a packed int64 array or a plain object list.
+Column = Union["array[int]", List[Any]]
+
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+
+def _packable(values: Sequence[Any]) -> bool:
+    """Can this column be struct-packed as int64?
+
+    Only genuine ``int`` values qualify — ``bool`` (or any int
+    subclass) would silently change the element's type when read back,
+    so it keeps the column in object form.  The checks run as whole-
+    column C passes (``map(type, ...)``, ``min``/``max``), not a
+    per-value Python loop: sealing is on the write path of every run
+    and merge file the sort produces.
+    """
+    if set(map(type, values)) != {int}:
+        return False
+    return _I64_MIN <= min(values) and max(values) <= _I64_MAX
+
+
+class ColumnStore:
+    """Column-major tuple storage with block (row-range) access."""
+
+    __slots__ = ("_cols", "_n", "_width", "_ragged")
+
+    def __init__(self) -> None:
+        self._cols: list[Column] | None = None
+        self._n = 0
+        self._width: int | None = None
+        self._ragged: list[Tuple] | None = None
+
+    # -- writing -----------------------------------------------------
+
+    def append_rows(self, rows: Sequence[Tuple]) -> None:
+        """Bulk-append ``rows`` (the writer's page flush)."""
+        if not rows:
+            return
+        if self._ragged is not None:
+            self._ragged.extend(rows)
+            self._n += len(rows)
+            return
+        if self._width is None:
+            self._width = len(rows[0])
+            self._cols = [[] for _ in range(self._width)]
+        cols = self._cols
+        assert cols is not None
+        if set(map(len, rows)) != {self._width}:
+            self._to_ragged()
+            self.append_rows(rows)
+            return
+        # One C-level transpose per flush instead of a Python loop per
+        # value; `zip(*rows)` yields exactly `width` columns because the
+        # arity check above passed.
+        for col, new in zip(cols, zip(*rows)):
+            col.extend(new)
+        self._n += len(rows)
+
+    def _to_ragged(self) -> None:
+        """Demote to row-major storage (mixed-arity rows)."""
+        self._ragged = self.rows(0, self._n)
+        self._cols = None
+        self._width = None
+
+    def seal(self) -> None:
+        """Struct-pack integer columns; called when the file seals."""
+        if self._cols is None:
+            return
+        for j, col in enumerate(self._cols):
+            if isinstance(col, list) and col and _packable(col):
+                self._cols[j] = array("q", col)
+
+    # -- reading -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def row(self, i: int) -> Tuple:
+        """Materialize one row as a tuple."""
+        if self._ragged is not None:
+            return self._ragged[i]
+        assert self._cols is not None
+        return tuple(col[i] for col in self._cols)
+
+    def rows(self, start: int, stop: int) -> list[Tuple]:
+        """Materialize rows ``[start, stop)`` as a list of tuples.
+
+        One zip over column slices — the block-at-a-time materialization
+        every cursor read goes through.
+        """
+        if start >= stop:
+            return []
+        if self._ragged is not None:
+            return self._ragged[start:stop]
+        if self._width == 0:
+            return [()] * (stop - start)
+        assert self._cols is not None
+        return list(zip(*(col[start:stop] for col in self._cols)))
+
+    def iter_rows(self, start: int, stop: int) -> Iterator[Tuple]:
+        return iter(self.rows(start, stop))
+
+    # -- introspection (tests, repr) ---------------------------------
+
+    @property
+    def column_kinds(self) -> tuple[str, ...]:
+        """Per-column layout: ``"i64"`` packed or ``"obj"`` list.
+
+        ``("ragged",)`` when the store fell back to row-major storage.
+        """
+        if self._ragged is not None:
+            return ("ragged",)
+        if self._cols is None:
+            return ()
+        return tuple("i64" if isinstance(c, array) else "obj"
+                     for c in self._cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ColumnStore(n={self._n}, "
+                f"kinds={list(self.column_kinds)})")

@@ -315,5 +315,22 @@ class ProfiledEmitter:
         self._profiler.add_tuples(1)
         self._inner.emit(result)
 
+    def emit_block(self, results) -> None:
+        """Tick once per result, then delegate the whole block.
+
+        Defined explicitly (not via ``__getattr__``) so block emits
+        cannot bypass the tuple counter by reaching the inner emitter's
+        ``emit_block`` directly.
+        """
+        results = results if isinstance(results, list) else list(results)
+        self._profiler.add_tuples(len(results))
+        inner_bulk = getattr(self._inner, "emit_block", None)
+        if inner_bulk is not None:
+            inner_bulk(results)
+        else:
+            emit = self._inner.emit
+            for r in results:
+                emit(r)
+
     def __getattr__(self, name: str):
         return getattr(self._inner, name)

@@ -24,7 +24,9 @@ Routes (all rooted at the bind address of ``repro serve``):
 
 Admission failures map to HTTP the obvious way: a need larger than the
 global budget is 422 (no retry will help), a queue timeout is 503 with
-``Retry-After`` (the service is busy, try again).
+``Retry-After`` (the service is busy, try again).  Malformed bodies and
+unknown queries/instances are 400; anything unexpected inside the
+engine is a 500 JSON document, never a dropped connection.
 """
 
 from __future__ import annotations
@@ -104,21 +106,21 @@ class _Handler(BaseHTTPRequestHandler):
             req = json.loads(self.rfile.read(length) or b"{}")
             if not isinstance(req, dict) or "query" not in req:
                 raise ValueError('the body needs a "query" field')
-        except (ValueError, json.JSONDecodeError) as exc:
+            kwargs = {
+                "instance": req.get("instance", "default"),
+                "collect": bool(req.get("collect", False)),
+            }
+            if req.get("M") is not None:
+                kwargs["M"] = int(req["M"])
+            if req.get("B") is not None:
+                kwargs["B"] = int(req["B"])
+            if "timeout_s" in req:
+                kwargs["timeout"] = (None if req["timeout_s"] is None
+                                     else float(req["timeout_s"]))
+        except (TypeError, ValueError, json.JSONDecodeError) as exc:
             self._json(400, {"error": f"bad request body: {exc}"})
             return
         service = self.server.service
-        kwargs = {
-            "instance": req.get("instance", "default"),
-            "collect": bool(req.get("collect", False)),
-        }
-        if req.get("M") is not None:
-            kwargs["M"] = int(req["M"])
-        if req.get("B") is not None:
-            kwargs["B"] = int(req["B"])
-        if "timeout_s" in req:
-            kwargs["timeout"] = (None if req["timeout_s"] is None
-                                 else float(req["timeout_s"]))
         try:
             result = service.execute(req["query"],
                                      session=req.get("session"), **kwargs)
@@ -127,9 +129,16 @@ class _Handler(BaseHTTPRequestHandler):
         except AdmissionTimeout as exc:
             self._json(503, {"error": str(exc), "kind": "timeout"},
                        headers={"Retry-After": "1"})
-        except (QueryParseError, CatalogError, KeyError,
-                ValueError) as exc:
+        except (QueryParseError, CatalogError) as exc:
+            # Only errors provably caused by the request map to 400;
+            # anything else is the engine's fault and must say so
+            # (a bare KeyError here used to masquerade as a client
+            # error, and an unexpected exception killed the handler
+            # thread mid-response).
             self._json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - deliberate catch-all
+            self._json(500, {"error": f"{type(exc).__name__}: {exc}",
+                             "kind": "internal"})
         else:
             self._json(200, result.as_dict())
 

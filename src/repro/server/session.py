@@ -307,16 +307,17 @@ class Session:
     def _check_layouts(q: JoinQuery,
                        layouts: dict[str, tuple[str, ...]] | None,
                        entry: "CatalogEntry") -> None:
+        from repro.server.catalog import CatalogError
         for rel in q.edge_names:
             have = entry.layouts.get(rel)
             if have is None:
-                raise KeyError(
+                raise CatalogError(
                     f"query uses relation {rel!r} but instance "
                     f"{entry.name!r} holds {sorted(entry.layouts)}")
             want = (layouts[rel] if layouts is not None
                     else q.edges[rel])
             if set(want) != set(have):
-                raise ValueError(
+                raise CatalogError(
                     f"relation {rel!r}: query names attributes "
                     f"{sorted(want)} but the loaded layout is {have}")
 

@@ -256,9 +256,9 @@ class TestSessionsAndService:
     def test_unknown_relation_and_layout_mismatch(self):
         with line3_service() as svc:
             s = svc.session("a")
-            with pytest.raises(KeyError, match="e9"):
+            with pytest.raises(CatalogError, match="e9"):
                 s.execute("e9(v1,v2)", M=M, B=B)
-            with pytest.raises(ValueError, match="attributes"):
+            with pytest.raises(CatalogError, match="attributes"):
                 s.execute("e1(v1,wrong)", M=M, B=B)
 
     def test_closed_session_refuses_queries(self):
@@ -409,6 +409,53 @@ class TestHttp:
         with pytest.raises(urllib.error.HTTPError) as e:
             _post(base, {"query": "e9(v1,v2)", "M": M, "B": B})
         assert e.value.code == 400
+
+    def test_non_numeric_machine_params_400(self, http_service):
+        _, base = http_service
+        for doc in ({"query": self.QUERY, "M": "eight", "B": B},
+                    {"query": self.QUERY, "M": M, "B": B,
+                     "timeout_s": "soon"},
+                    {"query": self.QUERY, "M": [8], "B": B}):
+            with pytest.raises(urllib.error.HTTPError) as e:
+                _post(base, doc)
+            assert e.value.code == 400
+            assert "bad request body" in json.load(e.value)["error"]
+
+    def test_internal_error_is_500_json_not_dropped(self, http_service):
+        svc, base = http_service
+        original = svc.execute
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        svc.execute = boom
+        try:
+            with pytest.raises(urllib.error.HTTPError) as e:
+                _post(base, {"query": self.QUERY, "M": M, "B": B})
+            assert e.value.code == 500
+            doc = json.load(e.value)
+            assert doc["kind"] == "internal"
+            assert "RuntimeError" in doc["error"]
+        finally:
+            svc.execute = original
+        # The handler survived; the service keeps answering.
+        status, doc = _post(base, {"query": self.QUERY, "M": M, "B": B})
+        assert status == 200 and doc["results"] == 256
+
+    def test_internal_keyerror_is_500_not_400(self, http_service):
+        svc, base = http_service
+        original = svc.execute
+
+        def missing(*args, **kwargs):
+            raise KeyError("frame_table")
+
+        svc.execute = missing
+        try:
+            with pytest.raises(urllib.error.HTTPError) as e:
+                _post(base, {"query": self.QUERY, "M": M, "B": B})
+            assert e.value.code == 500  # used to masquerade as 400
+        finally:
+            svc.execute = original
 
     def test_impossible_need_422(self, http_service):
         _, base = http_service
