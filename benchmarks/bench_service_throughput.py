@@ -25,7 +25,9 @@ counters, which are *deterministic* and pinned in
   once service-wide, every other logical read hits, each query writes
   back its own 80 intermediate pages, and nothing is evicted
   (aggregates are schedule-independent because request ``i`` always
-  runs on worker ``i mod c`` and frames are keyed by shared labels).
+  runs on worker ``i mod c`` and frames are keyed by shared labels);
+* flight recorder on (the default) vs off: identical counters — the
+  recorder observes lifecycle records, it never charges the device.
 
 CI gate (``--check-baseline``): the deterministic counters match the
 committed baseline exactly, and the concurrency-16 pooled service
@@ -118,11 +120,16 @@ def run_serial(tables: dict[str, str], pool: bool) -> tuple[dict, dict]:
 
 
 def run_service(tables: dict[str, str], concurrency: int,
-                pool: bool) -> tuple[dict, dict]:
-    """One engine, N_QUERIES requests over persistent workers."""
+                pool: bool, flight: bool = True) -> tuple[dict, dict]:
+    """One engine, N_QUERIES requests over persistent workers.
+
+    ``flight=False`` switches the query flight recorder off — the
+    recorder is an observer, so its setting must not move a counter.
+    """
     q = line_query(3)
     svc = QueryService(M=GLOBAL_M, B=QUERY_B, default_query_M=QUERY_M,
                        pool_frames=POOL_FRAMES if pool else 0,
+                       flight_records=256 if flight else 0,
                        workers=max(CONCURRENCIES))
     try:
         svc.load_tables("default", tables)
@@ -142,6 +149,8 @@ def run_service(tables: dict[str, str], concurrency: int,
     else:
         det["per_query_io_totals"] = sorted({r.io["total"] for r in rs})
     label = f"service c={concurrency} pool={'on' if pool else 'off'}"
+    if not flight:
+        label += " flight=off"
     return det, _timing_row(label, wall, walls)
 
 
@@ -167,6 +176,14 @@ def measure() -> dict:
                 det, row = best(run_service, tables, c, pool)
                 bucket[c] = det
                 timings.append(row)
+        # Flight-recorder identity leg: same configuration with the
+        # recorder off must reproduce the recorder-on counters exactly.
+        flight_off_det, flight_off_row = best(
+            run_service, tables, CONCURRENCIES[0], False, False)
+        timings.append(flight_off_row)
+    assert flight_off_det == pool_off[CONCURRENCIES[0]], (
+        "flight recorder moved the deterministic counters",
+        flight_off_det, pool_off[CONCURRENCIES[0]])
     # Pool-off counters and pooled aggregates are schedule-independent:
     # collapse across concurrency, failing loudly if they ever differ.
     assert all(pool_off[c] == pool_off[CONCURRENCIES[0]]

@@ -121,11 +121,41 @@ def main() -> int:
             assert m, "no repro_service_queries in /metrics"
             assert int(m.group(1)) == total, (m.group(1), total)
 
+            # The flight recorder must have seen every query — no
+            # drops, no double counting — and still store them all
+            # (default capacity 256 > the barrage).
+            with urllib.request.urlopen(f"{base}/debug/queries?n={total}",
+                                        timeout=10) as resp:
+                flight = json.load(resp)
+            assert flight["seen"] == total, (flight["seen"], total)
+            assert flight["stored"] == total and \
+                flight["overwritten"] == 0, flight
+            assert flight["returned"] == len(flight["records"]) == total
+            assert all(r["status"] == "ok" for r in flight["records"])
+            assert sum(r["io_total"] for r in flight["records"]) == \
+                sum(io_totals)
+
+            # One record fetched by id round-trips the full lifecycle.
+            newest = flight["records"][0]
+            with urllib.request.urlopen(
+                    f"{base}/debug/queries/{newest['id']}",
+                    timeout=10) as resp:
+                full = json.load(resp)
+            assert full["admission"]["outcome"] in ("granted", "queued")
+            assert full["io"]["total"] == newest["io_total"]
+
+            with urllib.request.urlopen(f"{base}/stats",
+                                        timeout=10) as resp:
+                stats = json.load(resp)
+            assert stats["flight"]["seen"] == total, stats["flight"]
+            assert "queue_depth" in stats["admission"]
+            assert "pins" in stats["pool"], stats["pool"]
+
             with urllib.request.urlopen(f"{base}/healthz",
                                         timeout=10) as resp:
                 assert json.load(resp)["ok"] is True
-            print(f"smoke OK: {total} concurrent queries, metrics and "
-                  f"health check out")
+            print(f"smoke OK: {total} concurrent queries, flight "
+                  f"records, metrics and health check out")
         finally:
             proc.terminate()
             rc = proc.wait(timeout=15)

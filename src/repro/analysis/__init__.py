@@ -13,6 +13,11 @@ from repro.analysis.bounds import (agm_internal_bound, equal_size_bound,
 from repro.analysis.fitting import (FIT_CLASSES, BoundTerm, FitPoint,
                                     FitResult, fit_class, fit_loglog)
 from repro.analysis.optimality import Certificate, certify
+from repro.analysis.predict import (FITTED_VERSION, ExplainReport,
+                                    Prediction, compare_fitted, explain,
+                                    fitted_document, load_fitted,
+                                    match_fit_class, predict,
+                                    save_fitted)
 from repro.analysis.subjoin import (BoundReport, BranchBound, all_subsets,
                                     dominant_subsets, explain_bound,
                                     gens_bound, lower_bound,
@@ -33,4 +38,7 @@ __all__ = [
     "Certificate", "certify",
     "BoundTerm", "FitPoint", "FitResult", "FIT_CLASSES", "fit_loglog",
     "fit_class",
+    "Prediction", "ExplainReport", "FITTED_VERSION", "match_fit_class",
+    "predict", "explain", "fitted_document", "save_fitted",
+    "load_fitted", "compare_fitted",
 ]

@@ -51,12 +51,17 @@ class FitPoint:
     bound: float      #: the closed-form bound at this point
     ratio: float      #: io / bound — the point's hidden constant
     terms: tuple[BoundTerm, ...]
+    #: exclusive per-phase I/O of the point's run (PhaseTracker report,
+    #: including the "(unattributed)" remainder) — what `repro explain`
+    #: decomposes its prediction with.
+    phases: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {"n": self.n, "M": self.M, "B": self.B, "io": self.io,
                 "results": self.results, "bound": round(self.bound, 3),
                 "ratio": round(self.ratio, 4),
-                "terms": {t.name: round(t.value, 3) for t in self.terms}}
+                "terms": {t.name: round(t.value, 3) for t in self.terms},
+                "phases": dict(self.phases)}
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,10 @@ class FitResult:
     eps: float            #: regression tolerance used
     term_shares: dict[str, float] = field(default_factory=dict)
     dominant_term: str = ""
+    #: mean fraction of measured I/O spent in each phase over the sweep
+    #: — the empirical decomposition `repro explain` scales to predict
+    #: per-phase I/O at a query's actual (n, M, B).
+    phase_shares: dict[str, float] = field(default_factory=dict)
 
     @property
     def regression(self) -> bool:
@@ -93,6 +102,8 @@ class FitResult:
             "term_shares": {k: round(v, 4)
                             for k, v in self.term_shares.items()},
             "dominant_term": self.dominant_term,
+            "phase_shares": {k: round(v, 6)
+                             for k, v in self.phase_shares.items()},
         }
 
 
@@ -204,18 +215,22 @@ def _build_star(n):
     from repro.query import star_query
     from repro.workloads import star_worstcase_instance
 
-    schemas, data = star_worstcase_instance([n, n])
+    # Three petals: a 2-petal "star" is structurally a 3-line (the core
+    # sits mid-path) and both the shape classifier and the planner
+    # treat it as one, so the smallest genuinely star-shaped sweep —
+    # the one `repro explain` maps k>=3 star queries onto — needs k=3.
+    schemas, data = star_worstcase_instance([n, n, n])
 
     def runner(query, instance, emitter):
         acyclic_join_best(query, instance, emitter, limit=16)
 
-    return star_query(2), schemas, data, runner
+    return star_query(3), schemas, data, runner
 
 
 def _terms_star(n, M, B):
-    # star_bound(core, [n, n], M, B) with the worst-case core of size 1.
-    return (BoundTerm("prodN/(MB)", n * n / (M * B)),
-            BoundTerm("(core+sumN)/B", (1 + 2 * n) / B))
+    # star_bound(core, [n, n, n], M, B), worst-case core of size 1.
+    return (BoundTerm("prodN/(M^(k-1)B)", n ** 3 / (M ** 2 * B)),
+            BoundTerm("(core+sumN)/B", (1 + 3 * n) / B))
 
 
 #: Fit-ready query classes: name -> sweep recipe + bound decomposition.
@@ -230,19 +245,41 @@ FIT_CLASSES: dict[str, FitClass] = {
         "triangle", "triangle_bound", 32, 4, (8, 12, 16),
         "k (N=k^2)", _build_triangle, _terms_triangle),
     "star": FitClass(
-        "star", "star_bound", 8, 2, (16, 32, 64),
+        "star", "star_bound", 8, 2, (12, 24, 48),
         "petal N", _build_star, _terms_star),
 }
 
 
+def planner_runner(query, instance, emitter):
+    """Run a sweep point the way the engine would: the full planner
+    path (reducer + dispatched algorithm), or ``triangle_join`` for the
+    cyclic triangle the acyclic planner refuses.
+
+    Constants fitted over this runner predict what ``repro explain``
+    and the service actually measure; the per-class runners in
+    :data:`FIT_CLASSES` stay algorithm-level (the complexity-regression
+    gate on the paper's algorithms themselves).
+    """
+    from repro.core.planner import execute
+    from repro.query.shapes import classify_shape
+
+    if classify_shape(query) == "cyclic":
+        from repro.core.triangle import triangle_join
+        triangle_join(query, instance, emitter)
+    else:
+        execute(query, instance, emitter)
+
+
 def measure_point(cls: FitClass, n: int, M: int, B: int, *,
-                  profiler=None, metrics=None) -> FitPoint:
+                  profiler=None, metrics=None,
+                  planner: bool = False) -> FitPoint:
     """Run one sweep point on a fresh device and pair it with its bound.
 
     With a profiler attached the whole point runs inside a
     ``fit:<class>`` algorithm span (and the profiler's tuple counter
     sees every emitted result via :class:`ProfiledEmitter`); counters
-    are byte-identical either way.
+    are byte-identical either way.  ``planner=True`` swaps the class's
+    algorithm-level runner for :func:`planner_runner`.
     """
     from repro.core import CountingEmitter
     from repro.data.instance import Instance
@@ -250,6 +287,8 @@ def measure_point(cls: FitClass, n: int, M: int, B: int, *,
     from repro.obs.spans import ProfiledEmitter
 
     query, schemas, data, runner = cls.build(n)
+    if planner:
+        runner = planner_runner
     device = Device(M=M, B=B, profiler=profiler, metrics=metrics)
     instance = Instance.from_dicts(device, schemas, data)
     emitter = CountingEmitter()
@@ -260,19 +299,25 @@ def measure_point(cls: FitClass, n: int, M: int, B: int, *,
     terms = tuple(cls.bound_terms(n, M, B))
     bound = sum(t.value for t in terms)
     io = device.stats.total
+    phases = device.phases.report()
     if profiler is not None:
         profiler.detach()
     return FitPoint(n=n, M=M, B=B, io=io, results=emitter.count,
-                    bound=bound, ratio=io / bound, terms=terms)
+                    bound=bound, ratio=io / bound, terms=terms,
+                    phases=phases)
 
 
 def fit_class(name: str, *, M: int | None = None, B: int | None = None,
               points: Sequence[int] | None = None, eps: float = 0.25,
-              profiler=None, metrics=None) -> FitResult:
+              profiler=None, metrics=None,
+              planner: bool = False) -> FitResult:
     """Sweep one registered class and fit its constant and slope.
 
     ``eps`` is the regression tolerance: the result's ``regression``
     flag is set when the fitted log-log slope exceeds ``1 + eps``.
+    ``planner=True`` sweeps the engine's real execution path (reducer
+    included) instead of the bare algorithm — the constants the fitted
+    document persists for ``repro explain``.
     """
     try:
         cls = FIT_CLASSES[name]
@@ -286,7 +331,8 @@ def fit_class(name: str, *, M: int | None = None, B: int | None = None,
     if len(sizes) < 2:
         raise ValueError(f"need >= 2 sweep points, got {list(sizes)}")
     measured = tuple(measure_point(cls, n, M, B, profiler=profiler,
-                                   metrics=metrics) for n in sizes)
+                                   metrics=metrics, planner=planner)
+                     for n in sizes)
     slope, intercept, r2 = fit_loglog([p.bound for p in measured],
                                       [p.io for p in measured])
     constant = math.exp(
@@ -297,7 +343,17 @@ def fit_class(name: str, *, M: int | None = None, B: int | None = None,
             shares[t.name] = shares.get(t.name, 0.0) + t.value / p.bound
     shares = {k: v / len(measured) for k, v in shares.items()}
     dominant = max(shares, key=shares.get) if shares else ""
+    phase_shares: dict[str, float] = {}
+    for p in measured:
+        if p.io <= 0:
+            continue
+        for label, cost in p.phases.items():
+            phase_shares[label] = (phase_shares.get(label, 0.0)
+                                   + cost / p.io)
+    phase_shares = {k: v / len(measured)
+                    for k, v in phase_shares.items() if v > 0}
     return FitResult(name=name, bound_name=cls.bound_name,
                      points=measured, constant=constant, slope=slope,
                      intercept=intercept, r2=r2, eps=eps,
-                     term_shares=shares, dominant_term=dominant)
+                     term_shares=shares, dominant_term=dominant,
+                     phase_shares=phase_shares)

@@ -1,6 +1,6 @@
 """Command-line interface: run and analyze joins from the shell.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro run --query "R(a,b), S(b,c)" \\
         --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
@@ -12,8 +12,15 @@ Five subcommands::
     python -m repro analyze --query "e1(v1,v2)[100], e2(v2,v3)[50]" \\
         -M 1024 -B 64
 
-    python -m repro fit two_relations line3 [--points 64 128 256] \\
-        [-M 16 -B 4] [--eps 0.25] [--json] [--profile out.json]
+    python -m repro explain --query "R(a,b), S(b,c)" \\
+        --table R=follows.csv --table S=lives.csv -M 1024 -B 64 \\
+        [--fitted benchmarks/BENCH_fitted.json] [--fit-live] \\
+        [--no-reduce] [--json]
+
+    python -m repro fit two_relations line3 [--all] \\
+        [--points 64 128 256] [-M 16 -B 4] [--eps 0.25] [--json] \\
+        [--profile out.json] [--write-fitted PATH] \\
+        [--check-fitted PATH]
 
     python -m repro lint [paths ...] [--format human|json] \\
         [--baseline lint-baseline.json] [--write-baseline] \\
@@ -25,7 +32,10 @@ Five subcommands::
         [-M 4096 -B 64] [--host 127.0.0.1 --port 8707] \\
         [--pool-frames 256 --pool-policy lru --max-pin-share 0.5] \\
         [--admission-policy fifo --admission-timeout 30] \\
-        [--instance default] [--workers 8]
+        [--instance default] [--workers 8] \\
+        [--fitted benchmarks/BENCH_fitted.json] \\
+        [--flight-records 256] [--slow-query-ms 100] \\
+        [--quota alice=2] [--quota bob=4:0.5] [--default-quota 8]
 
 ``run`` loads the CSV tables, executes the planner, and reports the
 results count, I/O bill, per-phase breakdown, and the optimality
@@ -43,10 +53,19 @@ JSON document so benchmarks and CI can scrape results without parsing
 prose.  ``analyze`` is purely structural: shape, acyclicity, edge
 cover / AGM bound, balance regime for lines, and the GenS branch
 summary — no data needed (sizes come from the ``[n]`` annotations).
-``fit`` sweeps registered query classes against their Table 1 bounds,
-fits the hidden constant and the log-log slope, and exits non-zero on
-a complexity regression (slope > 1 + eps) — the CI hook next to the
-pinned-counter baseline check.  ``lint`` runs ``emlint``, the
+``explain`` runs the query like ``run`` and then reports **predicted
+vs measured** I/O per phase: the prediction evaluates the query's
+Table-1 bound terms at the actual relation sizes and machine, scaled
+by the fitted constant from ``--fitted`` (the committed
+``benchmarks/BENCH_fitted.json``) — ``--fit-live`` sweeps the
+constants on the spot when no document exists yet.  ``fit`` sweeps
+registered query classes against their Table 1 bounds, fits the
+hidden constant and the log-log slope, and exits non-zero on a
+complexity regression (slope > 1 + eps) — the CI hook next to the
+pinned-counter baseline check; ``--write-fitted`` persists the
+constants as the versioned document ``explain`` reads, and
+``--check-fitted`` diffs a fresh sweep against the committed one
+(exit 1 on drift — the CI gate that keeps predictions honest).  ``lint`` runs ``emlint``, the
 AST-based model-discipline checker (see ``docs/model.md``): exit 0
 means every byte of I/O in the tree is accounted through the charged
 device API; exit 1 reports violations or stale baseline entries.
@@ -63,6 +82,11 @@ regenerates the archive).  ``serve`` keeps a
 ``/healthz``; ``-M`` is the *global* admission budget shared by all
 concurrent queries (per-query machines come from the request), and
 ``--pool-frames`` turns on the shared cross-query buffer pool.
+``--fitted`` arms ``POST /query?explain=1``; ``--flight-records`` /
+``--slow-query-ms`` size the query flight recorder behind ``GET
+/debug/queries``; ``--quota OWNER=INFLIGHT[:SHARE]`` (repeatable) and
+``--default-quota INFLIGHT[:SHARE]`` cap per-tenant concurrency and
+budget share.
 """
 
 from __future__ import annotations
@@ -157,10 +181,40 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("-M", type=int, default=1024)
     analyze.add_argument("-B", type=int, default=64)
 
+    explain = sub.add_parser(
+        "explain", help="run a join and report predicted vs measured "
+                        "I/O per phase")
+    explain.add_argument("--query", required=True,
+                         help="query text, e.g. 'R(a,b), S(b,c)'")
+    explain.add_argument("--table", action="append", default=[],
+                         metavar="NAME=PATH",
+                         help="CSV file per relation (repeatable)")
+    explain.add_argument("-M", type=int, default=1024,
+                         help="memory size in tuples (default 1024)")
+    explain.add_argument("-B", type=int, default=64,
+                         help="block size in tuples (default 64)")
+    explain.add_argument("--fitted", default="benchmarks/BENCH_fitted.json",
+                         metavar="PATH",
+                         help="fitted-constants document to predict "
+                              "from (default benchmarks/"
+                              "BENCH_fitted.json)")
+    explain.add_argument("--fit-live", action="store_true",
+                         help="no --fitted file needed: sweep and fit "
+                              "the matched class on the spot (slower, "
+                              "but always available)")
+    explain.add_argument("--no-reduce", action="store_true",
+                         help="skip the full reducer "
+                              "(input already reduced)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the report as one JSON document")
+
     fit = sub.add_parser(
         "fit", help="fit hidden constants of the Table 1 bounds")
-    fit.add_argument("classes", nargs="+", choices=sorted(FIT_CLASSES),
-                     help="query classes to sweep and fit")
+    fit.add_argument("classes", nargs="*", metavar="CLASS",
+                     help="query classes to sweep and fit "
+                          f"(from: {', '.join(sorted(FIT_CLASSES))})")
+    fit.add_argument("--all", action="store_true",
+                     help="sweep every registered class")
     fit.add_argument("--points", type=int, nargs="+", metavar="N",
                      help="instance sizes to sweep (default: the "
                           "class's registered sweep)")
@@ -176,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--profile", metavar="PATH",
                      help="profile the sweep and write a Chrome-trace/"
                           "Perfetto JSON file to PATH")
+    fit.add_argument("--write-fitted", metavar="PATH",
+                     help="persist the fitted constants as the "
+                          "versioned document 'repro explain' and the "
+                          "service read (benchmarks/BENCH_fitted.json)")
+    fit.add_argument("--check-fitted", metavar="PATH",
+                     help="diff this sweep against the committed "
+                          "fitted document at PATH; exit 1 on drift")
 
     lint = sub.add_parser(
         "lint", help="check the tree against the EM model discipline")
@@ -254,6 +315,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=8,
                        help="worker sessions for batched execution "
                             "(default 8)")
+    serve.add_argument("--fitted", metavar="PATH",
+                       help="fitted-constants document (benchmarks/"
+                            "BENCH_fitted.json) arming POST "
+                            "/query?explain=1")
+    serve.add_argument("--flight-records", type=int, default=256,
+                       metavar="N",
+                       help="flight-recorder ring capacity in query "
+                            "records (default 256; 0 = recording off)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="flag and count queries slower than MS "
+                            "end-to-end (default: off)")
+    serve.add_argument("--quota", action="append", default=[],
+                       metavar="OWNER=INFLIGHT[:SHARE]",
+                       help="per-tenant admission quota (repeatable): "
+                            "max concurrent queries, optionally ':' a "
+                            "budget share in (0, 1]")
+    serve.add_argument("--default-quota", metavar="INFLIGHT[:SHARE]",
+                       help="quota applied to tenants without an "
+                            "explicit --quota")
     return parser
 
 
@@ -478,10 +559,131 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fit(args: argparse.Namespace) -> int:
+def cmd_explain(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- CLI entry point: loads CSVs and the fitted archive on the host; the measured run happens inside execute()
+    from repro.analysis.predict import (explain, fitted_document,
+                                        load_fitted, match_fit_class)
+    from repro.core import CountingEmitter
+
+    query, layouts = parse_query_and_layouts(args.query)
+    tables = {}
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"error: --table expects NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        tables[name] = path
+    missing = set(query.edges) - set(tables)
+    if missing:
+        print(f"error: no --table for relations {sorted(missing)}",
+              file=sys.stderr)
+        return 2
+
+    device = Device(M=args.M, B=args.B)
+    instance = instance_from_csv(device, tables)
+    for e, attrs in layouts.items():
+        have = instance[e].schema.attributes
+        if set(have) != set(attrs):
+            print(f"error: {tables[e]} has columns {list(have)}, query "
+                  f"names {list(attrs)} for {e}", file=sys.stderr)
+            return 2
+    sizes = {e: len(instance[e]) for e in query.edges}
+
+    emitter = CountingEmitter()
+    if classify_shape(query) == "cyclic":
+        # The acyclic planner refuses cycles; the triangle has its own
+        # blocked algorithm (and its own fitted class).
+        from repro.core.triangle import triangle_join
+        triangle_join(query, instance, emitter)
+        shape, algorithm = "cyclic", "triangle-blocked"
+    else:
+        exec_report = execute(query, instance, emitter,
+                              reduce_first=not args.no_reduce)
+        shape, algorithm = exec_report.shape, exec_report.algorithm
+    measured_io = device.stats.total
+    measured_phases = device.phases.report()
+
+    if args.fit_live:
+        match = match_fit_class(query, sizes, args.M, args.B)
+        if match is None:
+            fitted = {"classes": {}}
+        else:
+            fitted = fitted_document(
+                [fit_class(match[0], planner=True)],
+                source="repro explain --fit-live")
+    else:
+        try:
+            fitted = load_fitted(args.fitted)
+        except (OSError, ValueError) as exc:
+            print(f"explain: cannot load fitted constants: {exc}",
+                  file=sys.stderr)
+            print("explain: generate them with 'repro fit --all "
+                  "--write-fitted benchmarks/BENCH_fitted.json' or "
+                  "pass --fit-live", file=sys.stderr)
+            return 2
+
+    report = explain(query, sizes, args.M, args.B, measured_io,
+                     measured_phases, fitted)
+
+    if args.json:
+        payload = {"query": args.query,
+                   "machine": {"M": args.M, "B": args.B},
+                   "sizes": sizes,
+                   "shape": shape,
+                   "algorithm": algorithm,
+                   "results": emitter.count,
+                   **report.as_dict()}
+        print(json.dumps(payload, indent=2, sort_keys=False))
+        return 0
+
+    print(f"shape       : {shape}")
+    print(f"algorithm   : {algorithm}")
+    print(f"results     : {emitter.count}")
+    print(f"measured io : {measured_io} pages")
+    p = report.prediction
+    if p is None:
+        print(f"predicted   : (none) — {report.reason}")
+        return 0
+    extra = "  [EXTRAPOLATED]" if p.extrapolated else ""
+    fm = p.fitted_machine
+    print(f"predicted   : {p.io:.1f} pages = {p.constant:.3f} * "
+          f"{p.bound_name} (class {p.fit_class}, fitted at "
+          f"M={fm.get('M')} B={fm.get('B')}){extra}")
+    acc = report.accuracy
+    if acc is None:
+        print("accuracy    : n/a (predicted 0 pages)")
+    else:
+        flag = ("" if 0.5 <= acc <= 2.0
+                else "  [outside [0.5, 2.0] — model lost touch]")
+        print(f"accuracy    : measured/predicted = {acc:.3f}{flag}")
+    print(f"{'phase':<18}{'predicted':>12}{'measured':>12}{'ratio':>9}")
+    for row in report.phase_rows():
+        pred = ("-" if row["predicted"] is None
+                else f"{row['predicted']:.1f}")
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.3f}"
+        print(f"{row['phase']:<18}{pred:>12}{row['measured']:>12}"
+              f"{ratio:>9}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- CLI entry point: persists/diffs the fitted archive on the host; the sweeps run on fresh simulated devices
+    from repro.analysis.predict import (compare_fitted, fitted_document,
+                                        load_fitted, save_fitted)
+
+    classes = sorted(FIT_CLASSES) if args.all else args.classes
+    if not classes:
+        print("fit: name classes to sweep, or pass --all",
+              file=sys.stderr)
+        return 2
+    unknown = sorted(set(classes) - set(FIT_CLASSES))
+    if unknown:
+        print(f"fit: unknown class(es) {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(FIT_CLASSES))}",
+              file=sys.stderr)
+        raise SystemExit(2)
     profiler = SpanProfiler() if args.profile else None
     results = []
-    for name in args.classes:
+    for name in classes:
         try:
             results.append(fit_class(name, M=args.M, B=args.B,
                                      points=args.points, eps=args.eps,
@@ -495,14 +697,42 @@ def cmd_fit(args: argparse.Namespace) -> int:
     if profiler is not None:
         profile_events = write_chrome_trace(args.profile, profiler)
 
+    # The persisted document models the engine's real execution path
+    # (planner + reducer), not the bare algorithms the regression gate
+    # sweeps — that is what `repro explain` compares measurements to.
+    planner_fits = None
+    if args.write_fitted or args.check_fitted:
+        planner_fits = [fit_class(name, M=args.M, B=args.B,
+                                  points=args.points, eps=args.eps,
+                                  planner=True) for name in classes]
+    if args.write_fitted:
+        save_fitted(args.write_fitted, planner_fits,
+                    source="repro fit (planner path)")
+    drift: list[str] = []
+    if args.check_fitted:
+        try:
+            committed = load_fitted(args.check_fitted)
+        except (OSError, ValueError) as exc:
+            print(f"fit: bad fitted document {args.check_fitted}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        drift = compare_fitted(
+            committed,
+            fitted_document(planner_fits,
+                            source="repro fit (planner path)"))
+
     if args.json:
         payload = {"fits": [r.as_dict() for r in results],
                    "regression": regression}
         if args.profile:
             payload["profile"] = {"path": args.profile,
                                   "events": profile_events}
+        if args.write_fitted:
+            payload["fitted_path"] = args.write_fitted
+        if args.check_fitted:
+            payload["fitted_drift"] = drift
         print(json.dumps(payload, indent=2, sort_keys=False))
-        return 1 if regression else 0
+        return 1 if regression or drift else 0
 
     for r in results:
         flag = "REGRESSION" if r.regression else "ok"
@@ -519,9 +749,17 @@ def cmd_fit(args: argparse.Namespace) -> int:
                   f"ratio={p.ratio:.3f}")
     if profiler is not None:
         print(f"profile: {profile_events} spans to {args.profile}")
+    if args.write_fitted:
+        print(f"fitted: wrote {len(results)} class(es) to "
+              f"{args.write_fitted}")
+    for line in drift:
+        print(f"fitted drift: {line}")
+    if args.check_fitted and not drift:
+        print(f"fitted: {len(results)} class(es) match "
+              f"{args.check_fitted}")
     if regression:
         print("complexity regression detected (slope exceeds 1+eps)")
-    return 1 if regression else 0
+    return 1 if regression or drift else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the checker reads sources and writes reports on the host
@@ -601,7 +839,8 @@ def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the c
 def cmd_serve(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- long-lived host process: sockets, stdout, CSV loading; measured I/O happens inside sessions
     # Imported here so `repro run` and friends never pay for the
     # service layer (threading machinery, HTTP plumbing).
-    from repro.server import QueryService, make_server
+    from repro.analysis.predict import load_fitted
+    from repro.server import QueryService, Quota, make_server
 
     tables: dict[str, str] = {}
     for spec in args.table or []:
@@ -612,11 +851,56 @@ def cmd_serve(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- long
             return 2
         tables[name] = path
 
+    def parse_limits(text: str) -> tuple[int | None, float | None]:
+        inflight, sep, share = text.partition(":")
+        return (int(inflight) if inflight else None,
+                float(share) if sep else None)
+
+    default_quota = None
+    if args.default_quota:
+        try:
+            mi, ms = parse_limits(args.default_quota)
+            default_quota = Quota(max_inflight=mi, max_share=ms)
+        except ValueError as exc:
+            print(f"serve: bad --default-quota "
+                  f"{args.default_quota!r}: {exc}", file=sys.stderr)
+            return 2
+    quotas: dict[str, tuple[int | None, float | None]] = {}
+    for spec in args.quota:
+        owner, sep, rest = spec.partition("=")
+        try:
+            if not sep or not owner or not rest:
+                raise ValueError("expected OWNER=INFLIGHT[:SHARE]")
+            quotas[owner] = parse_limits(rest)
+        except ValueError as exc:
+            print(f"serve: bad --quota {spec!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    fitted = None
+    if args.fitted:
+        try:
+            fitted = load_fitted(args.fitted)
+        except (OSError, ValueError) as exc:
+            print(f"serve: bad --fitted {args.fitted}: {exc}",
+                  file=sys.stderr)
+            return 2
+
     svc = QueryService(
         M=args.M, B=args.B, pool_frames=args.pool_frames,
         pool_policy=args.pool_policy, max_pin_share=args.max_pin_share,
         admission_policy=args.admission_policy,
-        admission_timeout=args.admission_timeout, workers=args.workers)
+        admission_timeout=args.admission_timeout, workers=args.workers,
+        flight_records=args.flight_records,
+        slow_query_ms=args.slow_query_ms, default_quota=default_quota,
+        fitted=fitted)
+    try:
+        for owner, (mi, ms) in quotas.items():
+            svc.set_quota(owner, max_inflight=mi, max_share=ms)
+    except ValueError as exc:
+        print(f"serve: bad quota: {exc}", file=sys.stderr)
+        svc.close()
+        return 2
     try:
         if tables:
             svc.load_tables(args.instance, tables)
@@ -632,8 +916,9 @@ def cmd_serve(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- long
     print(f"serve: listening on http://{args.host}:{server.server_port} "
           f"(M={args.M}, B={args.B}, {pool}, "
           f"admission={args.admission_policy})")
-    print("serve: routes: GET /metrics /healthz /stats /catalog, "
-          "POST /query — Ctrl-C to stop")
+    print("serve: routes: GET /metrics /healthz /stats /catalog "
+          "/debug/queries[/<id>], POST /query[?explain=1] — "
+          "Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -650,6 +935,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "analyze":
         return cmd_analyze(args)
+    if args.command == "explain":
+        return cmd_explain(args)
     if args.command == "fit":
         return cmd_fit(args)
     if args.command == "lint":

@@ -13,6 +13,8 @@ this package multiplexes *concurrent sessions* over it:
   session's charges routed to its own :class:`~repro.em.stats.IOStats`;
 * :mod:`repro.server.session` — parse → classify → plan → execute with
   per-session counter/trace isolation (solo-run byte identity);
+* :mod:`repro.server.flight` — the query flight recorder: one bounded
+  ring of per-query lifecycle records behind ``/debug/queries``;
 * :mod:`repro.server.service` — the engine tying those together, plus
   the thread-based batch executor;
 * :mod:`repro.server.http` — ``/metrics`` (Prometheus text), ``/query``
@@ -21,8 +23,9 @@ this package multiplexes *concurrent sessions* over it:
 
 from repro.server.admission import (AdmissionController, AdmissionError,
                                     AdmissionRejected, AdmissionTimeout,
-                                    Grant)
+                                    Grant, Quota)
 from repro.server.catalog import Catalog, CatalogEntry, CatalogError
+from repro.server.flight import FlightRecord, FlightRecorder
 from repro.server.http import ServiceServer, make_server, start_http_server
 from repro.server.pool import PoolView, SharedPool
 from repro.server.service import QueryService, ServiceError
@@ -30,8 +33,9 @@ from repro.server.session import QueryResult, Session, SessionClosed
 
 __all__ = [
     "AdmissionController", "AdmissionError", "AdmissionRejected",
-    "AdmissionTimeout", "Grant",
+    "AdmissionTimeout", "Grant", "Quota",
     "Catalog", "CatalogEntry", "CatalogError",
+    "FlightRecord", "FlightRecorder",
     "SharedPool", "PoolView",
     "Session", "SessionClosed", "QueryResult",
     "QueryService", "ServiceError",

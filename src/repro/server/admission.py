@@ -22,6 +22,13 @@ Two queue policies:
   concurrency; may starve large queries under sustained small-query
   load.
 
+Fairness is also **per-tenant**: a :class:`Quota` caps an owner's
+concurrent queries (``max_inflight``) and/or its share of the budget
+(``max_share``).  A quota-blocked waiter is *skipped*, not served —
+one tenant at its cap never stalls the tenants queued behind it
+(unlike budget-blocked fifo head-of-line, which is kept deliberately
+for the no-starvation guarantee).
+
 The controller is a plain monitor (one lock + condition); grants are
 tickets so a double release is caught instead of silently inflating the
 budget.
@@ -58,13 +65,39 @@ class Grant:
 
     amount: int
     ticket: int
+    owner: str | None = None
+    #: False when the grant came out of the wait queue (the caller's
+    #: admission outcome was "queued", not "granted").
+    immediate: bool = True
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-owner fairness limits (either field may be ``None``)."""
+
+    max_inflight: int | None = None   #: concurrent grants for the owner
+    max_share: float | None = None    #: fraction of the budget, (0, 1]
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}")
+        if (self.max_share is not None
+                and not 0.0 < self.max_share <= 1.0):
+            raise ValueError(
+                f"max_share must be in (0, 1], got {self.max_share}")
+
+    def as_dict(self) -> dict:
+        return {"max_inflight": self.max_inflight,
+                "max_share": self.max_share}
 
 
 class AdmissionController:
     """Grants shares of one memory budget to concurrent queries."""
 
     def __init__(self, budget: int, *, policy: str = "fifo",
-                 default_timeout: float | None = 30.0) -> None:
+                 default_timeout: float | None = 30.0,
+                 default_quota: Quota | None = None) -> None:
         if budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")
         if policy not in POLICIES:
@@ -73,13 +106,20 @@ class AdmissionController:
         self.budget = budget
         self.policy = policy
         self.default_timeout = default_timeout
+        self.default_quota = default_quota
         self._cond = threading.Condition()
         self._granted = 0
         self._active: set[int] = set()
-        self._queue: list[tuple[int, int]] = []  # (need, ticket)
+        # (need, ticket, owner); ticket is unique so tuple comparison
+        # (smallest-first's min()) never reaches the owner element.
+        self._queue: list[tuple[int, int, str | None]] = []
         self._tickets = itertools.count(1)
+        self._quotas: dict[str, Quota] = {}
+        self._owner_inflight: dict[str, int] = {}
+        self._owner_granted: dict[str, int] = {}
         self.stats = {"admitted": 0, "rejected": 0, "timeouts": 0,
-                      "released": 0, "peak_granted": 0, "peak_queue": 0}
+                      "released": 0, "peak_granted": 0, "peak_queue": 0,
+                      "quota_rejections": 0}
 
     # -- introspection -------------------------------------------------
 
@@ -98,35 +138,87 @@ class AdmissionController:
 
     def snapshot(self) -> dict[str, object]:
         with self._cond:
-            return {"budget": self.budget, "policy": self.policy,
-                    "granted": self._granted,
-                    "available": self.budget - self._granted,
-                    "in_flight": len(self._active),
-                    "queue_depth": len(self._queue), **self.stats}
+            doc = {"budget": self.budget, "policy": self.policy,
+                   "granted": self._granted,
+                   "available": self.budget - self._granted,
+                   "in_flight": len(self._active),
+                   "queue_depth": len(self._queue), **self.stats}
+            owners = sorted(set(self._quotas) | set(self._owner_inflight))
+            if owners or self.default_quota is not None:
+                doc["quotas"] = {o: self._quota_state_locked(o)
+                                 for o in owners}
+                if self.default_quota is not None:
+                    doc["default_quota"] = self.default_quota.as_dict()
+            return doc
+
+    # -- per-owner quotas ----------------------------------------------
+
+    def set_quota(self, owner: str, *, max_inflight: int | None = None,
+                  max_share: float | None = None) -> Quota | None:
+        """Install (or, with both limits ``None``, clear) an owner's
+        quota.  Takes effect for the owner's *next* acquire."""
+        with self._cond:
+            if max_inflight is None and max_share is None:
+                self._quotas.pop(owner, None)
+                self._cond.notify_all()  # clearing a cap can unblock
+                return None
+            quota = Quota(max_inflight=max_inflight, max_share=max_share)
+            self._quotas[owner] = quota
+            return quota
+
+    def quota_for(self, owner: str | None) -> Quota | None:
+        """The quota an acquire by ``owner`` is checked against."""
+        if owner is None:
+            return None
+        with self._cond:
+            return self._quotas.get(owner, self.default_quota)
+
+    def quota_state(self, owner: str | None) -> dict | None:
+        """Live usage vs limits for one owner; ``None`` when unlimited
+        and idle (nothing worth recording)."""
+        if owner is None:
+            return None
+        with self._cond:
+            if (owner not in self._quotas and self.default_quota is None
+                    and owner not in self._owner_inflight):
+                return None
+            return self._quota_state_locked(owner)
+
+    def _quota_state_locked(self, owner: str) -> dict:
+        state: dict = {"inflight": self._owner_inflight.get(owner, 0),
+                       "granted": self._owner_granted.get(owner, 0)}
+        quota = self._quotas.get(owner, self.default_quota)
+        if quota is not None:
+            state.update(quota.as_dict())
+        return state
 
     # -- the protocol --------------------------------------------------
 
-    def try_acquire(self, need: int) -> Grant | None:
-        """Non-blocking: a grant if budget and queue order allow, else
-        ``None`` (never queues)."""
-        self._validate(need)
+    def try_acquire(self, need: int, *,
+                    owner: str | None = None) -> Grant | None:
+        """Non-blocking: a grant if budget, queue order and quota allow,
+        else ``None`` (never queues)."""
+        self._validate(need, owner)
         with self._cond:
-            if self._queue or self._granted + need > self.budget:
+            if (self._queue or self._granted + need > self.budget
+                    or not self._quota_allows(owner, need)):
                 return None
-            return self._grant(need)
+            return self._grant(need, owner=owner)
 
-    def acquire(self, need: int, *, timeout: object = _UNSET) -> Grant:
+    def acquire(self, need: int, *, timeout: object = _UNSET,
+                owner: str | None = None) -> Grant:
         """Block until ``need`` tuples are granted, or fail.
 
         ``timeout=None`` waits forever; the default is the controller's
         ``default_timeout``.  ``timeout=0`` degrades to the non-blocking
         fast path (but raises instead of returning ``None``).
         """
-        self._validate(need)
+        self._validate(need, owner)
         patience = self.default_timeout if timeout is _UNSET else timeout
         deadline = (None if patience is None
                     else time.monotonic() + float(patience))
-        entry = (need, next(self._tickets))
+        entry = (need, next(self._tickets), owner)
+        immediate = True
         with self._cond:
             self._queue.append(entry)
             if len(self._queue) > self.stats["peak_queue"]:
@@ -136,7 +228,10 @@ class AdmissionController:
                     if (self._my_turn(entry)
                             and self._granted + need <= self.budget):
                         self._queue.remove(entry)
-                        return self._grant(need, ticket=entry[1])
+                        return self._grant(need, ticket=entry[1],
+                                           owner=owner,
+                                           immediate=immediate)
+                    immediate = False
                     remaining = (None if deadline is None
                                  else deadline - time.monotonic())
                     if remaining is not None and remaining <= 0:
@@ -163,13 +258,22 @@ class AdmissionController:
                     f"release of inactive grant {grant} (double release?)")
             self._active.remove(grant.ticket)
             self._granted -= grant.amount
+            if grant.owner is not None:
+                left = self._owner_inflight.get(grant.owner, 0) - 1
+                if left > 0:
+                    self._owner_inflight[grant.owner] = left
+                    self._owner_granted[grant.owner] -= grant.amount
+                else:
+                    self._owner_inflight.pop(grant.owner, None)
+                    self._owner_granted.pop(grant.owner, None)
             self.stats["released"] += 1
             self._cond.notify_all()
 
     @contextmanager
-    def admit(self, need: int, *, timeout: object = _UNSET):
+    def admit(self, need: int, *, timeout: object = _UNSET,
+              owner: str | None = None):
         """``with admission.admit(need):`` — acquire and always release."""
-        grant = self.acquire(need, timeout=timeout)
+        grant = self.acquire(need, timeout=timeout, owner=owner)
         try:
             yield grant
         finally:
@@ -177,7 +281,7 @@ class AdmissionController:
 
     # -- internals -----------------------------------------------------
 
-    def _validate(self, need: int) -> None:
+    def _validate(self, need: int, owner: str | None = None) -> None:
         if need < 0:
             raise ValueError(f"memory need must be >= 0, got {need}")
         if need > self.budget:
@@ -186,18 +290,57 @@ class AdmissionController:
             raise AdmissionRejected(
                 f"query needs {need} tuples but the global budget is "
                 f"{self.budget}; no release can ever satisfy it")
+        quota = self.quota_for(owner)
+        if (quota is not None and quota.max_share is not None
+                and need > quota.max_share * self.budget):
+            with self._cond:
+                self.stats["rejected"] += 1
+                self.stats["quota_rejections"] += 1
+            raise AdmissionRejected(
+                f"query needs {need} tuples but owner {owner!r} is "
+                f"capped at {quota.max_share:g} of the {self.budget}-"
+                f"tuple budget; no release can ever satisfy it")
 
-    def _my_turn(self, entry: tuple[int, int]) -> bool:
+    def _quota_allows(self, owner: str | None, need: int) -> bool:
+        if owner is None:
+            return True
+        quota = self._quotas.get(owner, self.default_quota)
+        if quota is None:
+            return True
+        if (quota.max_inflight is not None
+                and self._owner_inflight.get(owner, 0)
+                >= quota.max_inflight):
+            return False
+        if (quota.max_share is not None
+                and self._owner_granted.get(owner, 0) + need
+                > quota.max_share * self.budget):
+            return False
+        return True
+
+    def _my_turn(self, entry: tuple[int, int, str | None]) -> bool:
+        # Quota-blocked waiters are invisible to the ordering: a tenant
+        # at its cap never stalls the tenants queued behind it.
+        eligible = [e for e in self._queue
+                    if self._quota_allows(e[2], e[0])]
+        if not eligible:
+            return False
         if self.policy == "fifo":
-            return self._queue[0] is entry
-        return min(self._queue) == entry  # (need, ticket) natural order
+            return eligible[0] is entry
+        return min(eligible) == entry  # (need, ticket) natural order
 
-    def _grant(self, need: int, ticket: int | None = None) -> Grant:
+    def _grant(self, need: int, ticket: int | None = None,
+               owner: str | None = None,
+               immediate: bool = True) -> Grant:
         grant = Grant(amount=need,
                       ticket=next(self._tickets) if ticket is None
-                      else ticket)
+                      else ticket, owner=owner, immediate=immediate)
         self._granted += need
         self._active.add(grant.ticket)
+        if owner is not None:
+            self._owner_inflight[owner] = (
+                self._owner_inflight.get(owner, 0) + 1)
+            self._owner_granted[owner] = (
+                self._owner_granted.get(owner, 0) + need)
         self.stats["admitted"] += 1
         if self._granted > self.stats["peak_granted"]:
             self.stats["peak_granted"] = self._granted

@@ -9,18 +9,27 @@ Routes (all rooted at the bind address of ``repro serve``):
 * ``GET /stats`` — the full engine view (admission, catalog, pool,
   sessions) as JSON;
 * ``GET /catalog`` — loaded instances;
+* ``GET /debug/queries`` — newest flight records (compact rows;
+  ``?n=`` caps the count, ``?slow=1`` filters to slow queries), plus
+  the ring's seen/stored/overwritten accounting so a truncated history
+  is visible as such;
+* ``GET /debug/queries/<id>`` — one full flight record;
 * ``POST /query`` — run one query.  Body::
 
       {"query": "e1(v1,v2), e2(v2,v3), e3(v3,v4)",
        "instance": "default",          // catalog name
        "M": 8, "B": 2,                 // per-query machine (optional)
        "session": "alice",             // sticky session (optional)
+       "tenant": "team-a",             // admission owner (optional)
        "collect": false,               // include result rows
        "timeout_s": 5}                 // admission patience
 
   Without ``session`` the query runs one-shot (open, run, close);
   with it, repeated requests share devices, instance caches and pins —
-  the connection abstraction over a stateless protocol.
+  the connection abstraction over a stateless protocol.  With
+  ``?explain=1`` the response gains an ``"explain"`` key: predicted vs
+  measured I/O per phase from the service's fitted Table-1 constants
+  (or the reason no prediction applies).
 
 Admission failures map to HTTP the obvious way: a need larger than the
 global budget is 422 (no retry will help), a queue timeout is 503 with
@@ -35,6 +44,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import metrics_payload
 from repro.query.parse import QueryParseError
@@ -82,7 +92,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 - http.server API
         service = self.server.service
-        path = self.path.split("?")[0]
+        parts = urlsplit(self.path)
+        path, query = parts.path, parse_qs(parts.query)
         if path == "/metrics":
             self._send(200, metrics_payload(service.refresh_metrics()),
                        "text/plain; version=0.0.4; charset=utf-8")
@@ -92,15 +103,55 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(200, service.stats())
         elif path == "/catalog":
             self._json(200, service.catalog.info())
+        elif path == "/debug/queries" or path.startswith("/debug/queries/"):
+            self._debug_queries(service, path, query)
         else:
             self._json(404, {"error": f"unknown path {path!r}",
                              "routes": ["/metrics", "/healthz", "/stats",
-                                        "/catalog", "POST /query"]})
+                                        "/catalog", "/debug/queries",
+                                        "/debug/queries/<id>",
+                                        "POST /query"]})
+
+    def _debug_queries(self, service, path: str, query: dict) -> None:
+        flight = service.flight
+        if flight is None:
+            self._json(404, {"error": "flight recording is off "
+                                      "(service flight_records=0)"})
+            return
+        tail = path[len("/debug/queries"):].strip("/")
+        if tail:
+            try:
+                record_id = int(tail)
+            except ValueError:
+                self._json(400, {"error": f"bad record id {tail!r}"})
+                return
+            rec = flight.get(record_id)
+            if rec is None:
+                self._json(404, {
+                    "error": f"no flight record {record_id} (kept: "
+                             f"newest {flight.capacity}; "
+                             f"{flight.overwritten} overwritten)"})
+            else:
+                self._json(200, rec.as_dict())
+            return
+        try:
+            n = int(query["n"][0]) if "n" in query else None
+        except ValueError:
+            self._json(400, {"error": f"bad n={query['n'][0]!r}"})
+            return
+        slow_only = query.get("slow", ["0"])[0] not in ("0", "", "false")
+        records = flight.records(n, slow_only=slow_only)
+        self._json(200, {**flight.stats(),
+                         "returned": len(records),
+                         "records": [r.summary() for r in records]})
 
     def do_POST(self):  # noqa: N802 - http.server API
-        if self.path.split("?")[0] != "/query":
+        parts = urlsplit(self.path)
+        if parts.path != "/query":
             self._json(404, {"error": "POST only to /query"})
             return
+        explain = parse_qs(parts.query).get(
+            "explain", ["0"])[0] not in ("0", "", "false")
         try:
             length = int(self.headers.get("Content-Length") or 0)
             req = json.loads(self.rfile.read(length) or b"{}")
@@ -114,6 +165,8 @@ class _Handler(BaseHTTPRequestHandler):
                 kwargs["M"] = int(req["M"])
             if req.get("B") is not None:
                 kwargs["B"] = int(req["B"])
+            if req.get("tenant") is not None:
+                kwargs["tenant"] = str(req["tenant"])
             if "timeout_s" in req:
                 kwargs["timeout"] = (None if req["timeout_s"] is None
                                      else float(req["timeout_s"]))
@@ -121,9 +174,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(400, {"error": f"bad request body: {exc}"})
             return
         service = self.server.service
+        report = None
         try:
-            result = service.execute(req["query"],
-                                     session=req.get("session"), **kwargs)
+            if explain:
+                result, report = service.explain(
+                    req["query"], session=req.get("session"), **kwargs)
+            else:
+                result = service.execute(
+                    req["query"], session=req.get("session"), **kwargs)
         except AdmissionRejected as exc:
             self._json(422, {"error": str(exc), "kind": "rejected"})
         except AdmissionTimeout as exc:
@@ -140,7 +198,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(500, {"error": f"{type(exc).__name__}: {exc}",
                              "kind": "internal"})
         else:
-            self._json(200, result.as_dict())
+            doc = result.as_dict()
+            if report is not None:
+                doc["explain"] = report.as_dict()
+            self._json(200, doc)
 
 
 def make_server(service: "QueryService", host: str = "127.0.0.1",

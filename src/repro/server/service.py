@@ -10,7 +10,12 @@ requests.  It owns the pieces individual runs would otherwise rebuild:
 * optionally one :class:`~repro.server.pool.SharedPool` of page frames
   that all sessions hit (``pool_frames > 0``);
 * a :class:`~repro.obs.metrics.MetricsRegistry` aggregating
-  service-wide instruments for the ``/metrics`` exposition.
+  service-wide instruments for the ``/metrics`` exposition;
+* a :class:`~repro.server.flight.FlightRecorder` keeping the newest
+  query lifecycle records (``GET /debug/queries``); pass
+  ``flight_records=0`` to turn recording off — I/O counters are
+  byte-identical either way (the recorder only copies deltas the
+  session already computed).
 
 :meth:`execute_batch` is the thread-based executor: requests are dealt
 round-robin onto persistent worker sessions (deterministic assignment,
@@ -28,8 +33,9 @@ from typing import Mapping
 
 from repro.obs.export import to_prometheus
 from repro.obs.metrics import MetricsRegistry
-from repro.server.admission import AdmissionController
+from repro.server.admission import AdmissionController, Quota
 from repro.server.catalog import Catalog
+from repro.server.flight import FlightRecorder
 from repro.server.pool import SharedPool
 from repro.server.session import QueryResult, Session
 
@@ -49,6 +55,10 @@ class QueryService:
                  admission_timeout: float | None = 30.0,
                  catalog_capacity: int | None = None,
                  workers: int = 8, metrics: MetricsRegistry | None = None,
+                 flight_records: int = 256,
+                 slow_query_ms: float | None = None,
+                 default_quota: Quota | None = None,
+                 fitted: Mapping | None = None,
                  ) -> None:
         if B < 1 or M < B:
             raise ValueError(f"need 1 <= B <= M, got M={M}, B={B}")
@@ -65,7 +75,14 @@ class QueryService:
         self.metrics = MetricsRegistry() if metrics is None else metrics
         self.catalog = Catalog(capacity=catalog_capacity)
         self.admission = AdmissionController(
-            M, policy=admission_policy, default_timeout=admission_timeout)
+            M, policy=admission_policy, default_timeout=admission_timeout,
+            default_quota=default_quota)
+        self.flight = (FlightRecorder(flight_records,
+                                      slow_ms=slow_query_ms)
+                       if flight_records else None)
+        #: parsed BENCH_fitted.json document (or None): what
+        #: :meth:`explain` predicts against.
+        self.fitted = dict(fitted) if fitted is not None else None
         self.pool = (SharedPool(frames=pool_frames, policy=pool_policy,
                                 B=B, max_pin_share=max_pin_share,
                                 metrics=self.metrics)
@@ -194,6 +211,52 @@ class QueryService:
                 self._workers.append(w)
             return self._workers[:c]
 
+    # -- fairness ------------------------------------------------------
+
+    def set_quota(self, owner: str, *, max_inflight: int | None = None,
+                  max_share: float | None = None):
+        """Cap one tenant's concurrency / budget share (both ``None``
+        clears the quota).  Owners default to session names; HTTP
+        clients can pool sessions under one owner via ``tenant``."""
+        return self.admission.set_quota(owner, max_inflight=max_inflight,
+                                        max_share=max_share)
+
+    # -- explain -------------------------------------------------------
+
+    def explain(self, query, *, session: str | None = None,
+                instance: str = "default", **kwargs):
+        """Run one query and pair it with its Table-1 prediction.
+
+        Returns ``(QueryResult, ExplainReport)``.  The prediction side
+        needs a fitted-constants document (the service's ``fitted``);
+        without one the report carries the reason instead.
+        """
+        from repro.analysis.predict import ExplainReport
+        from repro.analysis.predict import explain as predict_explain
+        from repro.query.parse import parse_query_and_layouts
+
+        q = (parse_query_and_layouts(query)[0]
+             if isinstance(query, str) else query)
+        result = self.execute(query, session=session,
+                              instance=instance, **kwargs)
+        if self.fitted is None:
+            return result, ExplainReport(
+                prediction=None,
+                reason=("no fitted-constants document loaded; generate "
+                        "one with 'repro fit --all --write-fitted' and "
+                        "start the service with it"),
+                measured_io=result.io["total"],
+                measured_phases=dict(result.phases))
+        entry = self.catalog.acquire(instance)
+        try:
+            sizes = {rel: len(entry.rows[rel]) for rel in q.edge_names}
+        finally:
+            self.catalog.release(entry)
+        report = predict_explain(
+            q, sizes, result.machine["M"], result.machine["B"],
+            result.io["total"], result.phases, self.fitted)
+        return result, report
+
     # -- observability -------------------------------------------------
 
     def _observe(self, result: QueryResult) -> None:
@@ -209,6 +272,8 @@ class QueryService:
         m.counter("service.io_write_pages").inc(result.io["writes"])
         m.histogram("service.query_wall_ms").observe(
             max(0.0, result.wall_s * 1e3))
+        m.histogram("service.admission_wait_ms").observe(
+            max(0.0, float(result.admission.get("wait_ms", 0.0))))
         m.counter(f"service.shape.{result.shape}").inc()
 
     def refresh_metrics(self) -> MetricsRegistry:
@@ -228,6 +293,11 @@ class QueryService:
         if self.pool is not None:
             m.gauge("pool.resident_pages").set(
                 self.pool.pool.resident_pages)
+        if self.flight is not None:
+            fs = self.flight.stats()
+            m.gauge("flight.records_seen").set(fs["seen"])
+            m.gauge("flight.records_stored").set(fs["stored"])
+            m.gauge("flight.slow_queries").set(fs["slow"])
         return m
 
     def prometheus(self) -> str:
@@ -245,6 +315,8 @@ class QueryService:
             "catalog": self.catalog.info(),
             "pool": None if self.pool is None else self.pool.stats(),
             "sessions": sessions,
+            "flight": None if self.flight is None
+            else self.flight.stats(),
         }
 
     # -- lifecycle -----------------------------------------------------

@@ -37,6 +37,7 @@ from repro.core.planner import estimate_memory_need, execute
 from repro.data.instance import Instance
 from repro.query.hypergraph import JoinQuery
 from repro.query.parse import format_query, parse_query_and_layouts
+from repro.server.admission import AdmissionRejected, AdmissionTimeout
 from repro.server.pool import shared_label
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,6 +70,8 @@ class QueryResult:
     cache: dict | None = None
     wall_s: float = 0.0
     rows: list | None = field(default=None, repr=False)
+    #: id of this query's flight record (None with recording off).
+    flight_id: int | None = None
 
     def as_dict(self) -> dict:
         out = {"query": self.query, "instance": self.instance,
@@ -80,6 +83,8 @@ class QueryResult:
                "wall_ms": round(self.wall_s * 1e3, 3)}
         if self.cache is not None:
             out["cache"] = self.cache
+        if self.flight_id is not None:
+            out["flight_id"] = self.flight_id
         if self.rows is not None:
             out["rows"] = [{edge: list(t) for edge, t in r.items()}
                            for r in self.rows]
@@ -110,13 +115,21 @@ class Session:
     def execute(self, query: "JoinQuery | str", *,
                 instance: str = "default", M: int | None = None,
                 B: int | None = None, collect: bool = False,
-                reduce_first: bool = True,
-                timeout: object = _UNSET) -> QueryResult:
-        """Run one query; blocks on the session lock and on admission."""
+                reduce_first: bool = True, timeout: object = _UNSET,
+                tenant: str | None = None) -> QueryResult:
+        """Run one query; blocks on the session lock and on admission.
+
+        ``tenant`` names the admission owner for quota accounting; it
+        defaults to the session name, so one-shot HTTP sessions can
+        still share a tenant's quota by declaring it explicitly.
+        """
         with self._lock:
             if self.closed:
                 raise SessionClosed(f"session {self.name!r} is closed")
             svc = self._service
+            flight = svc.flight
+            owner = self.name if tenant is None else tenant
+            arrival = time.time() if flight is not None else 0.0
             t0 = time.perf_counter()
             if isinstance(query, str):
                 text = query
@@ -130,26 +143,106 @@ class Session:
             try:
                 self._check_layouts(q, layouts, entry)
                 need = estimate_memory_need(q, M=M, B=B)
+                depth = svc.admission.queue_depth
                 wait0 = time.perf_counter()
-                if timeout is _UNSET:  # defer to the controller default
-                    grant = svc.admission.acquire(need)
-                else:
-                    grant = svc.admission.acquire(need, timeout=timeout)
+                try:
+                    if timeout is _UNSET:  # defer to controller default
+                        grant = svc.admission.acquire(need, owner=owner)
+                    else:
+                        grant = svc.admission.acquire(
+                            need, owner=owner, timeout=timeout)
+                except AdmissionRejected as exc:
+                    self._record_flight(
+                        svc, owner=owner, text=text, instance=instance,
+                        status="rejected", arrival=arrival, t0=t0,
+                        wait0=wait0, M=M, B=B, need=need, depth=depth,
+                        error=str(exc))
+                    raise
+                except AdmissionTimeout as exc:
+                    self._record_flight(
+                        svc, owner=owner, text=text, instance=instance,
+                        status="timeout", arrival=arrival, t0=t0,
+                        wait0=wait0, M=M, B=B, need=need, depth=depth,
+                        error=str(exc))
+                    raise
                 wait_s = time.perf_counter() - wait0
                 try:
-                    result = self._run(q, text, entry, instance, M, B,
-                                       collect, reduce_first)
+                    try:
+                        result = self._run(q, text, entry, instance, M,
+                                           B, collect, reduce_first)
+                    except Exception as exc:
+                        self._record_flight(
+                            svc, owner=owner, text=text,
+                            instance=instance, status="error",
+                            arrival=arrival, t0=t0, wait0=wait0, M=M,
+                            B=B, need=need, depth=depth,
+                            outcome=("granted" if grant.immediate
+                                     else "queued"),
+                            wait_s=wait_s, error=str(exc))
+                        raise
                 finally:
                     svc.admission.release(grant)
             finally:
                 svc.catalog.release(entry)
             self.queries += 1
+            admission = {"need": need,
+                         "wait_ms": round(wait_s * 1e3, 3),
+                         "outcome": ("granted" if grant.immediate
+                                     else "queued"),
+                         "queue_depth_at_arrival": depth}
+            quota = svc.admission.quota_state(owner)
+            if quota is not None:
+                admission["quota"] = quota
             result = dataclasses.replace(
                 result, wall_s=time.perf_counter() - t0,
-                admission={"need": need,
-                           "wait_ms": round(wait_s * 1e3, 3)})
+                admission=admission)
+            if flight is not None:
+                rec = flight.record(
+                    session=self.name, owner=owner, query=text,
+                    instance=instance, status="ok",
+                    arrival_unix=arrival,
+                    wait_ms=admission["wait_ms"],
+                    run_ms=round((time.perf_counter() - wait0 - wait_s)
+                                 * 1e3, 3),
+                    total_ms=round(result.wall_s * 1e3, 3),
+                    admission=admission, machine=result.machine,
+                    shape=result.shape, algorithm=result.algorithm,
+                    results=result.results, io=result.io,
+                    phases=result.phases, peak_mem=result.peak_mem,
+                    cache=result.cache)
+                result = dataclasses.replace(result, flight_id=rec.id)
             svc._observe(result)
             return result
+
+    def _record_flight(self, svc: "QueryService", *, owner: str,
+                       text: str, instance: str, status: str,
+                       arrival: float, t0: float, wait0: float,
+                       M: int, B: int, need: int, depth: int,
+                       outcome: str | None = None, wait_s: float = 0.0,
+                       error: str | None = None) -> None:
+        """Record a query that never produced a :class:`QueryResult`
+        (admission failure or execution error)."""
+        flight = svc.flight
+        if flight is None:
+            return
+        now = time.perf_counter()
+        if status in ("rejected", "timeout"):
+            wait_s = now - wait0
+            outcome = status
+        admission = {"need": need,
+                     "wait_ms": round(wait_s * 1e3, 3),
+                     "outcome": outcome,
+                     "queue_depth_at_arrival": depth}
+        quota = svc.admission.quota_state(owner)
+        if quota is not None:
+            admission["quota"] = quota
+        flight.record(
+            session=self.name, owner=owner, query=text,
+            instance=instance, status=status, arrival_unix=arrival,
+            wait_ms=admission["wait_ms"],
+            run_ms=round(max(0.0, now - wait0 - wait_s) * 1e3, 3),
+            total_ms=round((now - t0) * 1e3, 3), admission=admission,
+            machine={"M": M, "B": B}, error=error)
 
     def _run(self, q: JoinQuery, text: str, entry: "CatalogEntry",
              instance: str, M: int, B: int, collect: bool,

@@ -43,11 +43,15 @@ def test_layer_has_zero_violations(layer):
 
 
 def test_pragma_suppressions_are_few_and_only_em001():
-    """Pragmas are reserved for host-side report writers (EM001)."""
+    """Pragmas are reserved for host-side report writers (EM001).
+
+    Current budget: 4 CLI report writers, 4 obs exporters/baselines,
+    and the fitted-constants archive save/load in analysis/predict.py.
+    """
     result = lint_paths([SRC], root=ROOT)
     codes = {v.code for v in result.suppressed_by_pragma}
     assert codes <= {"EM001"}
-    assert len(result.suppressed_by_pragma) <= 8
+    assert len(result.suppressed_by_pragma) <= 10
 
 
 # ------------------------------------------- effect signatures (emflow)

@@ -1,0 +1,277 @@
+"""Prediction from fitted constants: matching, math, drift, explain.
+
+The committed ``benchmarks/BENCH_fitted.json`` is itself under test
+here — the acceptance criterion is that on the classes ``repro fit``
+sweeps, the model's prediction lands within a factor of two of the
+measured planner-path I/O (accuracy ratio in ``[0.5, 2.0]``).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.predict import (DRIFT_RTOL, FITTED_VERSION,
+                                    ExplainReport, compare_fitted, explain,
+                                    load_fitted, match_fit_class, predict,
+                                    save_fitted)
+from repro.query.builders import (line_query, lollipop_query, star_query,
+                                  triangle_query)
+from repro.query.parse import parse_query
+
+BENCH_FITTED = (Path(__file__).resolve().parent.parent
+                / "benchmarks" / "BENCH_fitted.json")
+
+M, B = 16, 4
+
+
+def committed():
+    return load_fitted(BENCH_FITTED)
+
+
+def sizes_for(query, n):
+    return {e: n for e in query.edge_names}
+
+
+# ------------------------------------------------------- class matching
+
+
+class TestMatchFitClass:
+    def test_two_relations(self):
+        q = parse_query("r(a,b), s(b,c)")
+        name, terms = match_fit_class(q, {"r": 64, "s": 64}, M, B)
+        assert name == "two_relations"
+        assert terms["N1N2/(MB)"] == 64 * 64 / (M * B)
+        assert terms["(N1+N2)/B"] == 128 / B
+
+    def test_line3(self):
+        q = line_query(3)
+        name, terms = match_fit_class(q, sizes_for(q, 32), M, B)
+        assert name == "line3"
+        assert terms["N1N3/(MB)"] == 32 * 32 / (M * B)
+        assert terms["(N1+N2+N3)/B"] == 96 / B
+
+    def test_star_terms_scale_with_petal_count(self):
+        q = star_query(3)
+        sizes = sizes_for(q, 12)
+        name, terms = match_fit_class(q, sizes, M, B)
+        assert name == "star"
+        assert terms["prodN/(M^(k-1)B)"] == 12 ** 3 / (M ** 2 * B)
+        core = sizes[[e for e in q.edge_names
+                      if len(q.edges[e]) == 3][0]]
+        assert terms["(core+sumN)/B"] == (core + 3 * 12) / B
+
+    def test_triangle(self):
+        q = triangle_query()
+        name, terms = match_fit_class(q, sizes_for(q, 16), M, B)
+        assert name == "triangle"
+        assert terms["sqrt(N1N2N3/M)/B"] == \
+            pytest.approx(math.sqrt(16 ** 3 / M) / B)
+
+    def test_two_petal_star_is_matched_as_a_line(self):
+        # star_query(2) is a path of length 3 — the classifier sees a
+        # line, and so must the fit-class matcher (this is exactly why
+        # the "star" sweep uses three petals).
+        q = star_query(2)
+        name, _ = match_fit_class(q, sizes_for(q, 16), M, B)
+        assert name == "line3"
+
+    def test_unfitted_shapes_yield_none(self):
+        for q in (line_query(4), lollipop_query(3)):
+            assert match_fit_class(q, sizes_for(q, 16), M, B) is None
+
+
+# ----------------------------------------------------------- predict()
+
+
+class TestPredict:
+    def test_prediction_is_constant_times_bound(self):
+        doc = committed()
+        q = line_query(3)
+        sizes = sizes_for(q, 32)
+        pred, reason = predict(q, sizes, M, B, doc)
+        assert reason == "" and pred is not None
+        cls = doc["classes"]["line3"]
+        bound = 32 * 32 / (M * B) + 96 / B
+        assert pred.io == pytest.approx(cls["constant"] * bound)
+        assert pred.bound == pytest.approx(bound)
+        assert sum(pred.phases.values()) == pytest.approx(
+            pred.io * sum(cls["phase_shares"].values()))
+        assert pred.sizes == sizes
+
+    def test_extrapolation_is_flagged_not_hidden(self):
+        doc = committed()
+        q = line_query(3)
+        fitted_m = doc["classes"]["line3"]["machine"]
+        on_fitted, _ = predict(q, sizes_for(q, 32),
+                               fitted_m["M"], fitted_m["B"], doc)
+        assert not on_fitted.extrapolated
+        elsewhere, _ = predict(q, sizes_for(q, 32), 4 * fitted_m["M"],
+                               fitted_m["B"], doc)
+        assert elsewhere.extrapolated
+        assert elsewhere.as_dict()["extrapolated"] is True
+
+    def test_unmatched_shape_degrades_with_reason(self):
+        q = line_query(4)
+        pred, reason = predict(q, sizes_for(q, 16), M, B, committed())
+        assert pred is None
+        assert "no fitted Table-1 class" in reason
+
+    def test_missing_class_in_document_names_what_it_has(self):
+        doc = {"version": 1, "classes":
+               {k: v for k, v in committed()["classes"].items()
+                if k != "line3"}}
+        pred, reason = predict(line_query(3), sizes_for(line_query(3), 16),
+                               M, B, doc)
+        assert pred is None
+        assert "no class 'line3'" in reason
+
+
+# -------------------------------------------------------- the document
+
+
+class TestFittedDocument:
+    def test_committed_document_loads_and_is_versioned(self):
+        doc = committed()
+        assert doc["version"] == FITTED_VERSION
+        assert set(doc["classes"]) == {"two_relations", "line3",
+                                       "star", "triangle"}
+        for cls in doc["classes"].values():
+            assert cls["constant"] > 0
+            assert len(cls["points"]) >= 3
+            assert all(isinstance(p["io"], int) for p in cls["points"])
+            assert sum(cls["phase_shares"].values()) == pytest.approx(
+                1.0, abs=1e-3)
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.analysis.fitting import fit_class
+
+        fit = fit_class("two_relations", points=(32, 64), planner=True)
+        path = tmp_path / "fitted.json"
+        written = save_fitted(path, [fit], source="round-trip test")
+        loaded = load_fitted(path)
+        assert loaded == written
+        assert loaded["meta"]["source"] == "round-trip test"
+        assert loaded["classes"]["two_relations"]["points"][0]["io"] == \
+            fit.points[0].io
+
+    def test_load_rejects_wrong_version_and_shape(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "classes": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_fitted(bad)
+        bad.write_text(json.dumps({"version": FITTED_VERSION}))
+        with pytest.raises(ValueError, match="classes"):
+            load_fitted(bad)
+
+    def test_compare_fitted_catches_every_drift_kind(self):
+        doc = committed()
+        assert compare_fitted(doc, doc) == []
+        tweaked = json.loads(json.dumps(doc))
+        tweaked["classes"]["line3"]["points"][0]["io"] += 1
+        tweaked["classes"]["triangle"]["constant"] *= 1 + 10 * DRIFT_RTOL
+        del tweaked["classes"]["star"]
+        drift = compare_fitted(doc, tweaked)
+        assert any("line3.points" in d for d in drift)
+        assert any("triangle.constant" in d for d in drift)
+        assert any(d.startswith("star:") for d in drift)
+
+    def test_tiny_float_wobble_is_not_drift(self):
+        doc = committed()
+        wobbled = json.loads(json.dumps(doc))
+        wobbled["classes"]["line3"]["constant"] *= 1 + DRIFT_RTOL / 10
+        assert compare_fitted(doc, wobbled) == []
+
+
+# ------------------------------------------- explain: the honest report
+
+
+class TestExplain:
+    def test_phase_rows_pair_predicted_with_measured(self):
+        doc = committed()
+        q = line_query(3)
+        rep = explain(q, sizes_for(q, 32), M, B,
+                      measured_io=500,
+                      measured_phases={"sort": 300, "other": 200},
+                      fitted=doc)
+        rows = {r["phase"]: r for r in rep.phase_rows()}
+        assert rows["sort"]["measured"] == 300
+        assert rows["sort"]["predicted"] is not None
+        assert rows["other"]["predicted"] is None  # measured-only phase
+        assert rep.as_dict()["accuracy"] == pytest.approx(
+            500 / rep.prediction.io, abs=1e-3)
+
+    def test_report_without_prediction_has_no_accuracy(self):
+        rep = ExplainReport(prediction=None, reason="nope",
+                            measured_io=10, measured_phases={})
+        assert rep.accuracy is None
+        doc = rep.as_dict()
+        assert doc["accuracy"] is None and doc["reason"] == "nope"
+
+    @pytest.mark.parametrize("name", ["two_relations", "line3",
+                                      "star", "triangle"])
+    def test_fitted_classes_predict_within_2x_of_measured(self, name):
+        """Acceptance: rerun each fitted class's sweep on the planner
+        path at a point and machine the constant was fitted on, and the
+        accuracy ratio must stay within [0.5, 2.0]."""
+        from repro.analysis.fitting import FIT_CLASSES, measure_point
+
+        doc = committed()
+        cls = doc["classes"][name]
+        spec = FIT_CLASSES[name]
+        fm = cls["machine"]
+        n = cls["points"][-1]["n"]
+        point = measure_point(spec, n, M=fm["M"], B=fm["B"],
+                              planner=True)
+        query, _schemas, data, _runner = spec.build(n)
+        sizes = {e: len(data[e]) for e in query.edge_names}
+        rep = explain(query, sizes, fm["M"], fm["B"],
+                      measured_io=point.io,
+                      measured_phases=point.phases, fitted=doc)
+        assert rep.prediction is not None, rep.reason
+        assert rep.prediction.fit_class == name
+        assert not rep.prediction.extrapolated
+        assert 0.5 <= rep.accuracy <= 2.0, (
+            f"{name}: accuracy {rep.accuracy:.3f} outside [0.5, 2.0] — "
+            f"the fitted model lost touch with the implementation")
+
+
+# ---------------------------------------------- service-level ?explain
+
+
+class TestServiceExplain:
+    def test_service_explain_reports_accuracy_in_band(self):
+        from repro.server import QueryService
+        from repro.workloads import fig3_line3_instance
+
+        doc = committed()
+        fm = doc["classes"]["line3"]["machine"]
+        svc = QueryService(M=256, B=fm["B"], default_query_M=fm["M"],
+                           fitted=doc)
+        schemas, data = fig3_line3_instance(16, 16)
+        svc.add_instance("default", schemas, data)
+        try:
+            result, rep = svc.explain(
+                "e1(v1,v2), e2(v2,v3), e3(v3,v4)",
+                M=fm["M"], B=fm["B"])
+        finally:
+            svc.close()
+        assert rep.prediction is not None, rep.reason
+        assert rep.measured_io == result.io["total"]
+        assert 0.5 <= rep.accuracy <= 2.0
+
+    def test_service_without_fitted_degrades_with_reason(self):
+        from repro.server import QueryService
+        from repro.workloads import fig3_line3_instance
+
+        svc = QueryService(M=256, B=2, default_query_M=8)
+        schemas, data = fig3_line3_instance(16, 16)
+        svc.add_instance("default", schemas, data)
+        try:
+            _, rep = svc.explain("e1(v1,v2), e2(v2,v3), e3(v3,v4)",
+                                 M=8, B=2)
+        finally:
+            svc.close()
+        assert rep.prediction is None
+        assert "repro fit" in rep.reason
