@@ -26,7 +26,10 @@ Six subcommands::
         [--baseline lint-baseline.json] [--write-baseline] \\
         [--list-rules] [--effects signatures.json] \\
         [--check-effects effects-baseline.json] \\
-        [--write-effects-baseline effects-baseline.json]
+        [--write-effects-baseline effects-baseline.json] \\
+        [--locks lock_graph.json] \\
+        [--check-locks locks-baseline.json] \\
+        [--write-locks-baseline locks-baseline.json]
 
     python -m repro serve --table R=follows.csv --table S=lives.csv \\
         [-M 4096 -B 64] [--host 127.0.0.1 --port 8707] \\
@@ -75,7 +78,13 @@ versioned JSON document — the CI artifact next to the lint report;
 ``--check-effects`` diffs the live table against a committed archive
 and fails when a function's effects changed without a matching
 ``# em-effects:`` declaration update (``--write-effects-baseline``
-regenerates the archive).  ``serve`` keeps a
+regenerates the archive).  ``--locks PATH`` dumps the emrace
+lock-discipline document (thread roots, the lock inventory with
+guarded fields, the lock-order graph, per-function thread/lock
+signatures) behind EM012–EM016; ``--check-locks`` diffs it against
+the committed ``locks-baseline.json`` and fails on cycles, guard
+moves, strictness changes, or new lock-order edges
+(``--write-locks-baseline`` regenerates it).  ``serve`` keeps a
 :class:`~repro.server.QueryService` alive behind a small HTTP surface:
 ``POST /query`` (JSON in/out, optional sticky sessions), ``GET
 /metrics`` (Prometheus text), ``/stats``, ``/catalog`` and
@@ -102,7 +111,9 @@ from repro.em.bufferpool import PoolConfig
 from repro.em.device import Device
 from repro.em.policies import POLICIES
 from repro.lint import (RULES, Baseline, compact_effect_signatures,
-                        compare_effect_signatures, lint_paths,
+                        compact_lock_signatures,
+                        compare_effect_signatures,
+                        compare_lock_signatures, lint_paths,
                         load_baseline, to_human, to_json, write_baseline)
 from repro.obs import (MetricsRegistry, ProfiledEmitter, SpanProfiler,
                        Tracer, to_prometheus, write_chrome_trace)
@@ -270,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "committed archive at PATH; exit 1 when a "
                            "function's effects changed without a "
                            "matching '# em-effects:' declaration update")
+    lint.add_argument("--locks", metavar="PATH",
+                      help="dump the emrace lock-graph document "
+                           "(locks, guarded fields, lock-order edges, "
+                           "per-function thread/lock signatures) as "
+                           "JSON to PATH ('-' for stdout)")
+    lint.add_argument("--check-locks", metavar="PATH",
+                      help="diff the live lock graph against a "
+                           "committed baseline; fail on cycles, guard "
+                           "moves, strictness changes, or new "
+                           "lock-order edges")
+    lint.add_argument("--write-locks-baseline", metavar="PATH",
+                      help="write the compact lock signature archive "
+                           "(the --check-locks input) to PATH and "
+                           "continue")
     lint.add_argument("--write-effects-baseline", metavar="PATH",
                       help="write the compact effect-signature archive "
                            "(the --check-effects input) to PATH and "
@@ -805,6 +830,46 @@ def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the c
             fh.write("\n")
         print(f"lint: wrote {len(compact['signatures'])} effect "
               f"signature(s) to {args.write_effects_baseline}")
+    if args.locks:
+        table = json.dumps(result.locks, indent=2, sort_keys=False)
+        if args.locks == "-":
+            print(table)
+        else:
+            # host-side analysis artifact, not simulated-device I/O
+            with open(args.locks, "w",  # emlint: disable=EM001
+                      encoding="utf-8") as fh:
+                fh.write(table + "\n")
+    if args.write_locks_baseline:
+        compact = compact_lock_signatures(result.locks)
+        # host-side analysis artifact, not simulated-device I/O
+        with open(args.write_locks_baseline, "w",  # emlint: disable=EM001
+                  encoding="utf-8") as fh:
+            json.dump(compact, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"lint: wrote {len(compact['locks'])} lock(s) and "
+              f"{len(compact['edges'])} order edge(s) to "
+              f"{args.write_locks_baseline}")
+    lock_failures: list[str] = []
+    if args.check_locks:
+        try:
+            # host-side analysis artifact, not simulated-device I/O
+            with open(args.check_locks,  # emlint: disable=EM001
+                      encoding="utf-8") as fh:
+                committed = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"lint: bad locks baseline {args.check_locks}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        lock_failures, notices = compare_lock_signatures(
+            committed, result.locks)
+        for line in notices:
+            print(f"locks: {line}")
+        for line in lock_failures:
+            print(f"locks: FAIL: {line}")
+        if not lock_failures:
+            n = len(result.locks.get("locks", {}))
+            print(f"locks: {n} lock(s) checked against "
+                  f"{args.check_locks}: ok")
     effect_failures: list[str] = []
     if args.check_effects:
         try:
@@ -833,7 +898,7 @@ def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the c
     # Stale baseline entries fail the run too: the baseline documents
     # reality, and reality moved.
     return (0 if result.clean and not result.stale_baseline
-            and not effect_failures else 1)
+            and not effect_failures and not lock_failures else 1)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- long-lived host process: sockets, stdout, CSV loading; measured I/O happens inside sessions

@@ -110,6 +110,11 @@ PURE_BASE_METHODS: dict[str, frozenset[str]] = {
 #: survives).
 RawCall = tuple[str, str, int]
 
+#: A ``threading.Thread(target=...)`` site: (kind, target text, line),
+#: same kinds as :data:`RawCall` ("name"/"dotted"/"attr") plus
+#: "opaque" for a lambda or computed target.
+ThreadTarget = tuple[str, str, int]
+
 
 @dataclass
 class FunctionNode:
@@ -129,6 +134,10 @@ class FunctionNode:
     #: Declaration tokens that are not valid effect names (EM011).
     bad_declared: tuple[str, ...] = ()
     raw_calls: list[RawCall] = field(default_factory=list)
+    #: ``threading.Thread(target=...)`` sites in this function's body
+    #: (nested defs fold in, so a thread spawning a closure records
+    #: the enclosing function).
+    thread_targets: list[ThreadTarget] = field(default_factory=list)
     #: Effects evident in this function's own body.
     intrinsic: set[str] = field(default_factory=set)
     # Filled in by link():
@@ -327,12 +336,47 @@ class _Collector(ast.NodeVisitor):
                 return True
         return False
 
+    def _is_thread_ctor(self, func: ast.expr) -> bool:
+        """Does this call expression construct ``threading.Thread``?"""
+        if isinstance(func, ast.Name):
+            return self.imports.get(func.id) == "threading.Thread"
+        if isinstance(func, ast.Attribute) and func.attr == "Thread":
+            dotted = rules.dotted_name(func)
+            if dotted is None:
+                return False
+            base = dotted.rsplit(".", 1)[0]
+            return self.imports.get(base) == "threading"
+        return False
+
+    def _record_thread_target(self, fn: FunctionNode,
+                              node: ast.Call) -> None:
+        target: ast.expr | None = None
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target = kw.value
+                break
+        if target is None:
+            fn.thread_targets.append(("opaque", "", node.lineno))
+        elif isinstance(target, ast.Name):
+            fn.thread_targets.append(("name", target.id, node.lineno))
+        elif isinstance(target, ast.Attribute):
+            dotted = rules.dotted_name(target)
+            if dotted is not None:
+                fn.thread_targets.append(("dotted", dotted, node.lineno))
+            else:
+                fn.thread_targets.append(
+                    ("attr", target.attr, node.lineno))
+        else:
+            fn.thread_targets.append(("opaque", "", node.lineno))
+
     def visit_Call(self, node: ast.Call) -> None:
         fn = self._node
         if fn is None:
             self.generic_visit(node)
             return
         func = node.func
+        if self._is_thread_ctor(func):
+            self._record_thread_target(fn, node)
         if isinstance(func, ast.Name):
             if func.id == "open":
                 fn.intrinsic.add("PHYS_IO")
@@ -629,15 +673,30 @@ def _resolve_attr(program: Program, fn: FunctionNode, attr: str,
 
 
 def strongly_connected(program: Program) -> list[list[str]]:
-    """Tarjan's SCC, iterative, emitting components in reverse
-    topological order (callees before callers)."""
+    """Tarjan's SCC over the program call graph, emitting components
+    in reverse topological order (callees before callers)."""
+    return tarjan_scc(
+        program.nodes,
+        {qn: program.nodes[qn].edges for qn in program.nodes})
+
+
+def tarjan_scc(nodes: Iterable[str],
+               edge_map: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan's SCC, iterative, over an arbitrary string graph.
+
+    Emits components in reverse topological order (successors before
+    predecessors), which makes a fixpoint over the condensation one
+    linear sweep.  Edges to nodes outside ``nodes`` are ignored.
+    """
+    node_list = list(nodes)
+    node_set = set(node_list)
     index: dict[str, int] = {}
     low: dict[str, int] = {}
     on_stack: set[str] = set()
     stack: list[str] = []
     sccs: list[list[str]] = []
     counter = 0
-    for root in program.nodes:
+    for root in node_list:
         if root in index:
             continue
         # Each frame: (node, iterator position over its edges).
@@ -649,12 +708,12 @@ def strongly_connected(program: Program) -> list[list[str]]:
                 counter += 1
                 stack.append(node)
                 on_stack.add(node)
-            edges = program.nodes[node].edges
+            edges = edge_map.get(node, [])
             advanced = False
             while ei < len(edges):
                 tgt = edges[ei]
                 ei += 1
-                if tgt not in program.nodes:
+                if tgt not in node_set:
                     continue
                 if tgt not in index:
                     work.append((node, ei))

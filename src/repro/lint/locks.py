@@ -1,0 +1,1378 @@
+"""Lock-discipline analysis: the ``emrace`` pass (EM012–EM016).
+
+The service layer is a concurrent system: seven locks guard catalog,
+admission, pool, session, flight-recorder, and service state, and any
+unguarded mutation can silently break the byte-identical counter
+guarantees the pinned baselines depend on.  This module checks the
+concurrency model the same way :mod:`repro.lint.effects` checks the
+cost model — statically, whole-program, with declarations as the
+audit trail and an empty committed baseline as the bar.
+
+Annotation grammar (all line comments):
+
+``# em-guarded-by: <lock-attr> [-- reason]``
+    On a field's assignment (or class-body annotation) line: every
+    write to the field outside ``__init__`` must happen with that
+    lock held.  ``<lock-attr>`` is resolved relative to the owning
+    class — a bare name (``_lock``) or an attribute chain through
+    typed fields (``shared.lock``).  The literal ``none`` opts a
+    field out and *requires* a justification.
+
+``# em-holds: <lock-attr>[, <lock-attr>] [-- reason]``
+    On a method's ``def`` line: callers must already hold the named
+    locks.  The method's own writes are checked against the declared
+    set, and every call site is checked to actually hold it (EM012).
+
+``# em-lock: coarse -- reason``
+    On a lock-creation line: the lock is *sanctioned* to be held
+    across blocking work (admission waits, device charges), exempting
+    it from EM015.  Undeclared locks are strict.
+
+``# em-thread-root: <root>``
+    On a ``def`` line: declares a thread entry point the inference in
+    :mod:`repro.lint.threads` cannot see (consumed there; policed for
+    drift here).
+
+Rules:
+
+* **EM012** — a write to a guarded field without the guard lock held
+  (lexically via ``with``, or contractually via ``em-holds``), or a
+  call into an ``em-holds`` method without the required lock.
+* **EM013** — a monitor class (owns a lock, methods reachable from
+  ≥2 thread roots) mutates a field outside ``__init__`` with no
+  ``em-guarded-by`` declaration: the annotation is forced.
+* **EM014** — a cycle in the acquires-while-holding lock-order
+  graph (potential deadlock), including single-lock re-acquisition
+  of a non-reentrant ``threading.Lock``.
+* **EM015** — blocking work (``Condition.wait``, device charges,
+  file/socket I/O, sleeps, ``serve_forever``) reachable while a
+  strict (non-``coarse``) lock is held.
+* **EM016** — declaration drift: guard/holds annotations naming lock
+  attributes that do not exist, ``none`` escapes without a reason,
+  unknown ``em-lock`` flags, and annotation comments attached to no
+  construct.
+
+Resolution here is deliberately *precise*, unlike the union call
+graph the effect pass uses: a flat union over every method named
+``close`` would manufacture lock-order cycles that cannot happen.
+Types flow from parameter/return annotations (string forms
+included), constructor assignments, and container value types; a
+call that cannot be typed contributes nothing.  That is sound for
+EM014/EM015 (missing edges, never false ones) and keeps EM012
+honest because guarded writes are always lexically attributable.
+
+Like the rest of the lint package this is stdlib-only and never
+imports the code it inspects.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.lint import rules
+from repro.lint.callgraph import (Program, _canonical, linted_mro,
+                                  module_name_for, tarjan_scc)
+from repro.lint.threads import (ROOT_MAIN, THREAD_ROOT_RE, ThreadAnalysis,
+                                class_threads)
+
+#: Version of the ``--locks`` lock-graph JSON document.
+LOCKS_SCHEMA_VERSION = 1
+
+GUARDED_BY_RE = re.compile(
+    r"#\s*em-guarded-by:\s*([A-Za-z0-9_.]+)\s*(?:--\s*(.*?))?\s*$")
+HOLDS_RE = re.compile(
+    r"#\s*em-holds:\s*([A-Za-z0-9_.,\s]+?)\s*(?:--\s*(.*?))?\s*$")
+LOCK_FLAG_RE = re.compile(
+    r"#\s*em-lock:\s*([A-Za-z-]+)\s*(?:--\s*(.*?))?\s*$")
+
+#: Constructors that create a lock attribute, → lock kind.
+LOCK_CTORS = {"threading.Lock": "lock", "threading.RLock": "rlock",
+              "threading.Condition": "condition"}
+
+#: Valid ``# em-lock:`` flags.
+LOCK_FLAGS = frozenset({"coarse"})
+
+#: Container methods that mutate their receiver (a call
+#: ``self.field.append(...)`` is a write to ``field``).
+MUTATORS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+    "sort", "update",
+})
+
+#: Socket methods that block the calling thread.
+BLOCKING_SOCKET = frozenset({"accept", "connect", "recv", "sendall"})
+
+#: Device charge entry points — the simulated I/O that EM015 treats
+#: as blocking work (a charge is a block transfer; holding a strict
+#: lock across one serializes every thread behind simulated disk).
+CHARGE_METHODS = frozenset({"charge_read", "charge_write"})
+
+#: A lock's identity: (owning class key, attribute name).
+LockId = tuple[str, str]
+
+#: A resolved type: ``("cls", clskey)`` | ``("lock", LockId)`` |
+#: ``("dict", TypeInfo)`` | ``("list", TypeInfo)`` | ``None``.
+#: An *unresolved* reference uses ``("name", (text, module))`` in the
+#: first slot instead; both are spelled ``tuple[str, Any] | None``
+#: because mypy's strict mode has no recursive tuple aliases.
+
+_DICT_NAMES = frozenset({"dict", "Dict", "defaultdict", "OrderedDict",
+                         "Counter", "Mapping", "MutableMapping"})
+_SEQ_NAMES = frozenset({"list", "List", "set", "Set", "frozenset",
+                        "FrozenSet", "deque", "Sequence", "Iterable",
+                        "Iterator", "Collection"})
+
+
+@dataclass(frozen=True)
+class LockFinding:
+    """One emrace finding, later wrapped as a Violation."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+    scope: str
+
+
+@dataclass
+class LockInfo:
+    """One lock attribute found in the tree."""
+
+    lid: LockId
+    kind: str  #: "lock" | "rlock" | "condition"
+    path: str
+    line: int
+    coarse: bool = False
+    justification: str = ""
+
+
+@dataclass
+class GuardDecl:
+    """One ``# em-guarded-by:`` declaration on a field."""
+
+    text: str
+    justification: str
+    line: int
+    #: Resolved lock id; ``None`` for the ``none`` escape or an
+    #: unresolvable text (the latter is an EM016 finding).
+    lid: LockId | None = None
+
+
+@dataclass
+class ClassScan:
+    """Per-class facts from the annotation/type scan."""
+
+    key: str
+    module: str
+    path: str
+    line: int
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    attr_refs: dict[str, Any] = field(default_factory=dict)
+    guards: dict[str, GuardDecl] = field(default_factory=dict)
+    init_lines: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class FnFacts:
+    """Per-function lexical facts for the discipline rules."""
+
+    qn: str
+    #: (attr, line, held lock ids, written inside ``__init__``).
+    writes: list[tuple[str, int, tuple[LockId, ...], bool]] = field(
+        default_factory=list)
+    #: (callee qualname, line, held lock ids) — *precisely* resolved.
+    calls: list[tuple[str, int, tuple[LockId, ...]]] = field(
+        default_factory=list)
+    #: (kind, line, held, exempt lock) — intrinsic blocking sites.
+    blockers: list[tuple[str, int, tuple[LockId, ...],
+                         LockId | None]] = field(default_factory=list)
+    #: (outer lock, inner lock, line) — lexical acquisition nesting.
+    nests: list[tuple[LockId, LockId, int]] = field(default_factory=list)
+    #: Locks this function's body acquires via ``with``.
+    acquired: set[LockId] = field(default_factory=set)
+    #: Blocking kinds evident at this function's own sites.
+    block_kinds: set[str] = field(default_factory=set)
+
+
+def _comment_lines(source: str) -> dict[int, str]:
+    """Line number → comment text, from real COMMENT tokens only.
+
+    The annotation grammar is documented in docstrings (this module's
+    included), so a plain per-line regex would see declarations inside
+    string literals; tokenizing restricts matching to actual comments.
+
+    A declaration on a *standalone* comment line anchors to the next
+    code line below it (skipping further comment lines), so long
+    justifications need not fight the line-length limit:
+
+    .. code-block:: python
+
+        # em-lock: coarse -- held across waits by design: queries
+        # within one session run serially.
+        self._lock = threading.Lock()
+    """
+    out: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return {}  # unparseable source is EM000's problem
+    lines = source.splitlines()
+
+    def pure_comment(lineno: int) -> bool:
+        text = (lines[lineno - 1] if 0 < lineno <= len(lines) else "")
+        return text.strip().startswith("#")
+
+    decl_res = (GUARDED_BY_RE, HOLDS_RE, LOCK_FLAG_RE, THREAD_ROOT_RE)
+    for lineno in sorted(out):
+        if not pure_comment(lineno):
+            continue
+        if not any(p.search(out[lineno]) for p in decl_res):
+            continue
+        target = lineno + 1
+        while target <= len(lines) and pure_comment(target):
+            target += 1
+        if (target > len(lines) or not lines[target - 1].strip()
+                or target in out):
+            continue  # nothing to anchor to: EM016 flags the leftover
+        out[target] = out.pop(lineno)
+    return out
+
+
+def _parse_line_decls(comments: dict[int, str],
+                      pattern: re.Pattern[str]) -> dict[int, tuple[str, str]]:
+    """Map line number → (declaration text, justification)."""
+    out: dict[int, tuple[str, str]] = {}
+    for lineno, line in comments.items():
+        m = pattern.search(line)
+        if m is not None:
+            out[lineno] = (m.group(1).strip(), (m.group(2) or "").strip())
+    return out
+
+
+def _ann_ref(expr: ast.expr, module: str) -> tuple[str, Any] | None:
+    """An annotation expression → unresolved type reference."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        try:
+            inner = ast.parse(expr.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _ann_ref(inner, module)
+    if isinstance(expr, ast.Name):
+        return ("name", (expr.id, module))
+    if isinstance(expr, ast.Attribute):
+        dotted = rules.dotted_name(expr)
+        return ("name", (dotted, module)) if dotted else None
+    if isinstance(expr, ast.Subscript):
+        base = expr.value
+        base_name = (base.id if isinstance(base, ast.Name)
+                     else base.attr if isinstance(base, ast.Attribute)
+                     else None)
+        args = (list(expr.slice.elts)
+                if isinstance(expr.slice, ast.Tuple) else [expr.slice])
+        if base_name in _DICT_NAMES and len(args) == 2:
+            return ("dict", _ann_ref(args[1], module))
+        if base_name in _SEQ_NAMES and args:
+            return ("list", _ann_ref(args[0], module))
+        if base_name == "Optional" and args:
+            return _ann_ref(args[0], module)
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        left = _ann_ref(expr.left, module)
+        return left if left is not None else _ann_ref(expr.right, module)
+    return None
+
+
+def _param_refs(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                module: str) -> dict[str, Any]:
+    """Parameter name → unresolved type ref, from annotations."""
+    out: dict[str, Any] = {}
+    args = node.args
+    for a in (list(args.posonlyargs) + list(args.args)
+              + list(args.kwonlyargs)):
+        if a.annotation is not None:
+            ref = _ann_ref(a.annotation, module)
+            if ref is not None:
+                out[a.arg] = ref
+    return out
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.X`` (or ``self.X[...]``) → ``X``, else ``None``."""
+    if isinstance(expr, ast.Subscript):
+        return _self_attr(expr.value)
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+class _Emrace:
+    """The whole-program lock-discipline analysis (driver object)."""
+
+    def __init__(self, program: Program,
+                 analysis: ThreadAnalysis) -> None:
+        self.program = program
+        self.analysis = analysis
+        self.class_scans: dict[str, ClassScan] = {}
+        self.locks: dict[LockId, LockInfo] = {}
+        #: (qn, module, path, clskey-or-None, def node).
+        self.defs: list[tuple[str, str, str, str | None,
+                              ast.FunctionDef | ast.AsyncFunctionDef]] = []
+        self.param_refs: dict[str, dict[str, Any]] = {}
+        self.return_refs: dict[str, Any] = {}
+        #: qn → (texts, justification, line) from ``# em-holds:``.
+        self.holds_raw: dict[str, tuple[list[str], str, int]] = {}
+        self.holds: dict[str, frozenset[LockId]] = {}
+        self.fn_facts: dict[str, FnFacts] = {}
+        self.acquires: dict[str, frozenset[LockId]] = {}
+        self.blocks: dict[str, frozenset[str]] = {}
+        #: (path, line, message) for malformed ``em-lock`` flags.
+        self.bad_flags: list[tuple[str, int, str]] = []
+        #: Declaration comment lines seen / consumed, for leftovers.
+        self.decl_lines: dict[str, dict[int, str]] = {}
+        self.consumed: set[tuple[str, int]] = set()
+        self._attr_cache: dict[tuple[str, str], Any] = {}
+        self._findings: list[LockFinding] = []
+
+    # ---------------------------------------------- phase 1: scan --
+
+    def scan_module(self, path: str, source: str, tree: ast.AST,
+                    pkg_parts: tuple[str, ...] | None) -> None:
+        module = module_name_for(path, pkg_parts)
+        comments = _comment_lines(source)
+        guard_decls = _parse_line_decls(comments, GUARDED_BY_RE)
+        holds_decls = _parse_line_decls(comments, HOLDS_RE)
+        flag_decls = _parse_line_decls(comments, LOCK_FLAG_RE)
+        lines = self.decl_lines.setdefault(path, {})
+        for ln in guard_decls:
+            lines[ln] = "em-guarded-by"
+        for ln in holds_decls:
+            lines[ln] = "em-holds"
+        for ln in flag_decls:
+            lines[ln] = "em-lock"
+        for ln, line in comments.items():
+            if THREAD_ROOT_RE.search(line) is not None:
+                lines[ln] = "em-thread-root"
+        if not isinstance(tree, ast.Module):
+            return
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_def(f"{module}.{node.name}", module, path,
+                                   None, node, holds_decls)
+            elif isinstance(node, ast.ClassDef):
+                self._scan_class(module, path, node, guard_decls,
+                                 holds_decls, flag_decls)
+
+    def _register_def(self, qn: str, module: str, path: str,
+                      clskey: str | None,
+                      node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      holds_decls: dict[int, tuple[str, str]]) -> None:
+        self.defs.append((qn, module, path, clskey, node))
+        self.param_refs[qn] = _param_refs(node, module)
+        if node.returns is not None:
+            ref = _ann_ref(node.returns, module)
+            if ref is not None:
+                self.return_refs[qn] = ref
+        decl = holds_decls.get(node.lineno)
+        if decl is not None:
+            texts = [t.strip() for t in decl[0].split(",") if t.strip()]
+            self.holds_raw[qn] = (texts, decl[1], node.lineno)
+            self.consumed.add((path, node.lineno))
+
+    def _scan_class(self, module: str, path: str, node: ast.ClassDef,
+                    guard_decls: dict[int, tuple[str, str]],
+                    holds_decls: dict[int, tuple[str, str]],
+                    flag_decls: dict[int, tuple[str, str]]) -> None:
+        clskey = f"{module}.{node.name}"
+        cs = ClassScan(key=clskey, module=module, path=path,
+                       line=node.lineno)
+        self.class_scans[clskey] = cs
+        for sub in node.body:
+            if (isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Name)):
+                ref = _ann_ref(sub.annotation, module)
+                if ref is not None:
+                    cs.attr_refs.setdefault(sub.target.id, ref)
+                g = guard_decls.get(sub.lineno)
+                if g is not None:
+                    cs.guards.setdefault(
+                        sub.target.id,
+                        GuardDecl(g[0], g[1], sub.lineno))
+                    self.consumed.add((path, sub.lineno))
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_def(f"{clskey}.{sub.name}", module, path,
+                                   clskey, sub, holds_decls)
+                self._scan_method_attrs(cs, module, path, sub,
+                                        guard_decls, flag_decls)
+
+    def _scan_method_attrs(
+            self, cs: ClassScan, module: str, path: str,
+            meth: ast.FunctionDef | ast.AsyncFunctionDef,
+            guard_decls: dict[int, tuple[str, str]],
+            flag_decls: dict[int, tuple[str, str]]) -> None:
+        in_init = meth.name == "__init__"
+        params = self.param_refs.get(f"{cs.key}.{meth.name}", {})
+        for st in ast.walk(meth):
+            if isinstance(st, ast.Assign):
+                for tgt in st.targets:
+                    targets = (tgt.elts if isinstance(
+                        tgt, (ast.Tuple, ast.List)) else [tgt])
+                    for t in targets:
+                        if (isinstance(t, ast.Attribute)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id == "self"):
+                            self._attr_assign(
+                                cs, module, path, t.attr, st.value,
+                                st.lineno, in_init, params,
+                                guard_decls, flag_decls)
+            elif (isinstance(st, ast.AnnAssign)
+                  and isinstance(st.target, ast.Attribute)
+                  and isinstance(st.target.value, ast.Name)
+                  and st.target.value.id == "self"):
+                ref = _ann_ref(st.annotation, module)
+                if ref is not None:
+                    cs.attr_refs.setdefault(st.target.attr, ref)
+                self._attr_assign(cs, module, path, st.target.attr,
+                                  st.value, st.lineno, in_init, params,
+                                  guard_decls, flag_decls)
+
+    def _attr_assign(self, cs: ClassScan, module: str, path: str,
+                     attr: str, value: ast.expr | None, lineno: int,
+                     in_init: bool, params: dict[str, Any],
+                     guard_decls: dict[int, tuple[str, str]],
+                     flag_decls: dict[int, tuple[str, str]]) -> None:
+        if in_init:
+            cs.init_lines.setdefault(attr, lineno)
+        kind = self._lock_ctor_kind(module, value)
+        if kind is not None and attr not in cs.locks:
+            info = LockInfo(lid=(cs.key, attr), kind=kind, path=path,
+                            line=lineno)
+            flag = flag_decls.get(lineno)
+            if flag is not None:
+                self.consumed.add((path, lineno))
+                if flag[0] in LOCK_FLAGS:
+                    info.coarse = True
+                    info.justification = flag[1]
+                else:
+                    self.bad_flags.append((
+                        path, lineno,
+                        f"unknown em-lock flag {flag[0]!r} on "
+                        f"{cs.key}.{attr} (valid: "
+                        f"{', '.join(sorted(LOCK_FLAGS))})"))
+            cs.locks[attr] = info
+        elif value is not None and attr not in cs.attr_refs:
+            ref = self._value_ref(module, value, params)
+            if ref is not None:
+                cs.attr_refs[attr] = ref
+        g = guard_decls.get(lineno)
+        if g is not None:
+            cs.guards.setdefault(attr, GuardDecl(g[0], g[1], lineno))
+            self.consumed.add((path, lineno))
+
+    def _lock_ctor_kind(self, module: str,
+                        value: ast.expr | None) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        target = self._ctor_target(module, value.func)
+        return LOCK_CTORS.get(target) if target is not None else None
+
+    def _ctor_target(self, module: str, func: ast.expr) -> str | None:
+        """A call's function expression → imported dotted target."""
+        if isinstance(func, ast.Name):
+            return self.program.imports.get(module, {}).get(func.id)
+        dotted = rules.dotted_name(func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        t = self.program.imports.get(module, {}).get(parts[0])
+        return ".".join([t] + parts[1:]) if t is not None else None
+
+    def _value_ref(self, module: str, value: ast.expr,
+                   params: dict[str, Any]) -> tuple[str, Any] | None:
+        """A constructor-assignment value → unresolved type ref."""
+        if isinstance(value, ast.Call):
+            if isinstance(value.func, ast.Name):
+                return ("name", (value.func.id, module))
+            dotted = rules.dotted_name(value.func)
+            return ("name", (dotted, module)) if dotted else None
+        if isinstance(value, ast.Name):
+            ref = params.get(value.id)
+            return ref if ref is not None else None
+        if isinstance(value, ast.IfExp):
+            body = self._value_ref(module, value.body, params)
+            if body is not None:
+                return body
+            return self._value_ref(module, value.orelse, params)
+        return None
+
+    # -------------------------------------- phase 2: type resolution --
+
+    def resolve(self) -> None:
+        """Register locks, resolve guard/holds declarations."""
+        for cs in self.class_scans.values():
+            for info in cs.locks.values():
+                self.locks[info.lid] = info
+        for p, line, msg in self.bad_flags:
+            self._add("EM016", p, line, msg, "em-lock")
+        for cs in self.class_scans.values():
+            for attr, gd in cs.guards.items():
+                if gd.text == "none":
+                    if not gd.justification:
+                        self._add(
+                            "EM016", cs.path, gd.line,
+                            f"field {cs.key.rsplit('.', 1)[-1]}.{attr} "
+                            "opts out with `em-guarded-by: none` but "
+                            "gives no justification; append `-- why` "
+                            "so the escape stays an audit record",
+                            f"{cs.key}.{attr}")
+                    continue
+                gd.lid = self.resolve_guard(cs.key, gd.text)
+                if gd.lid is None:
+                    self._add(
+                        "EM016", cs.path, gd.line,
+                        f"`em-guarded-by: {gd.text}` on {cs.key}."
+                        f"{attr} names no lock attribute reachable "
+                        "from the class (drifted declaration?); name "
+                        "a threading.Lock/RLock/Condition attribute "
+                        "or use `none -- why`",
+                        f"{cs.key}.{attr}")
+        for qn, (texts, _just, line) in self.holds_raw.items():
+            node = self.program.nodes.get(qn)
+            if node is None:
+                continue
+            if node.cls is None:
+                self._add(
+                    "EM016", node.path, line,
+                    f"`em-holds:` on module-level function "
+                    f"{node.local_name}; holds contracts are resolved "
+                    "against the owning class, annotate a method",
+                    node.local_name)
+                continue
+            clskey = f"{node.module}.{node.cls}"
+            lids: set[LockId] = set()
+            for text in texts:
+                lid = self.resolve_guard(clskey, text)
+                if lid is None:
+                    self._add(
+                        "EM016", node.path, line,
+                        f"`em-holds: {text}` on {node.local_name} "
+                        "names no lock attribute reachable from "
+                        f"{node.cls} (drifted declaration?)",
+                        node.local_name)
+                else:
+                    lids.add(lid)
+            self.holds[qn] = frozenset(lids)
+
+    def resolve_ref(self, ref: Any) -> tuple[str, Any] | None:
+        if ref is None:
+            return None
+        tag = ref[0]
+        if tag == "dict":
+            return ("dict", self.resolve_ref(ref[1]))
+        if tag == "list":
+            return ("list", self.resolve_ref(ref[1]))
+        text, module = ref[1]
+        ck = self._class_for(module, text)
+        return ("cls", ck) if ck is not None else None
+
+    def _class_for(self, module: str, text: str) -> str | None:
+        if f"{module}.{text}" in self.program.classes:
+            return f"{module}.{text}"
+        parts = text.split(".")
+        t = self.program.imports.get(module, {}).get(parts[0])
+        if t is not None:
+            full = _canonical(self.program, ".".join([t] + parts[1:]))
+            if full in self.program.classes:
+                return full
+        return None
+
+    def attr_type(self, clskey: str, attr: str) -> tuple[str, Any] | None:
+        key = (clskey, attr)
+        if key in self._attr_cache:
+            out: tuple[str, Any] | None = self._attr_cache[key]
+            return out
+        self._attr_cache[key] = None  # cycle guard
+        resolved: tuple[str, Any] | None = None
+        for ck in [clskey] + linted_mro(self.program, clskey):
+            cs = self.class_scans.get(ck)
+            if cs is None:
+                continue
+            if attr in cs.locks:
+                resolved = ("lock", cs.locks[attr].lid)
+                break
+            ref = cs.attr_refs.get(attr)
+            if ref is not None:
+                resolved = self.resolve_ref(ref)
+                break
+        self._attr_cache[key] = resolved
+        return resolved
+
+    def return_type(self, qn: str) -> tuple[str, Any] | None:
+        return self.resolve_ref(self.return_refs.get(qn))
+
+    def method_qn(self, clskey: str, meth: str) -> str | None:
+        for ck in [clskey] + linted_mro(self.program, clskey):
+            qn = f"{ck}.{meth}"
+            if qn in self.program.nodes:
+                return qn
+        return None
+
+    def resolve_guard(self, clskey: str, text: str) -> LockId | None:
+        """``_lock`` / ``shared.lock`` relative to ``clskey`` → lock id."""
+        parts = text.split(".")
+        cur: tuple[str, Any] | None = ("cls", clskey)
+        for i, p in enumerate(parts):
+            if cur is None or cur[0] != "cls":
+                return None
+            t = self.attr_type(cur[1], p)
+            if i == len(parts) - 1:
+                if t is not None and t[0] == "lock":
+                    lid: LockId = t[1]
+                    return lid
+                return None
+            cur = t
+        return None
+
+    def guard_for(self, clskey: str, attr: str) -> GuardDecl | None:
+        for ck in [clskey] + linted_mro(self.program, clskey):
+            cs = self.class_scans.get(ck)
+            if cs is not None and attr in cs.guards:
+                return cs.guards[attr]
+        return None
+
+    # ------------------------------------ phase 3: function lexing --
+
+    def run_functions(self) -> None:
+        for qn, module, path, clskey, node in self.defs:
+            if qn not in self.program.nodes:
+                continue
+            scanner = _FnScanner(self, qn, module, clskey,
+                                 node.name == "__init__")
+            for a in (list(node.args.posonlyargs) + list(node.args.args)
+                      + list(node.args.kwonlyargs)):
+                ref = self.param_refs.get(qn, {}).get(a.arg)
+                t = self.resolve_ref(ref)
+                if t is not None:
+                    scanner.env[a.arg] = t
+            if clskey is not None:
+                scanner.env["self"] = ("cls", clskey)
+            for stmt in node.body:
+                scanner.visit(stmt)
+            self.fn_facts[qn] = scanner.facts
+
+    # --------------------------------------- phase 4: fixpoints --
+
+    def fixpoints(self) -> None:
+        edge_map: dict[str, list[str]] = {
+            qn: sorted({c for (c, _l, _h) in facts.calls})
+            for qn, facts in self.fn_facts.items()}
+        for comp in tarjan_scc(list(self.fn_facts), edge_map):
+            members = set(comp)
+            acq: set[LockId] = set()
+            blk: set[str] = set()
+            for qn in comp:
+                facts = self.fn_facts[qn]
+                acq |= facts.acquired
+                blk |= facts.block_kinds
+                node = self.program.nodes.get(qn)
+                if node is not None and "PHYS_IO" in node.intrinsic:
+                    blk.add("io")
+                for callee in edge_map.get(qn, []):
+                    if callee not in members:
+                        acq |= self.acquires.get(callee, frozenset())
+                        blk |= self.blocks.get(callee, frozenset())
+            for qn in comp:
+                self.acquires[qn] = frozenset(acq)
+                self.blocks[qn] = frozenset(blk)
+
+    # -------------------------------------------- phase 5: rules --
+
+    def _add(self, code: str, path: str, line: int, message: str,
+             scope: str) -> None:
+        self._findings.append(LockFinding(
+            code=code, path=path, line=line, message=message,
+            scope=scope))
+
+    def _lock_name(self, lid: LockId) -> str:
+        return f"{lid[0].rsplit('.', 1)[-1]}.{lid[1]}"
+
+    def check(self) -> list[LockFinding]:
+        self._check_leftover_decls()
+        self._check_undeclared_fields()
+        self._check_guarded_writes()
+        self._check_lock_order()
+        self._check_blocking()
+        return sorted(self._findings,
+                      key=lambda f: (f.path, f.line, f.code, f.scope))
+
+    def _check_leftover_decls(self) -> None:
+        # em-thread-root is consumed by the thread inference, which
+        # matches def lines; the same criterion polices drift here.
+        def_lines: set[tuple[str, int]] = {
+            (node.path, node.line)
+            for node in self.program.nodes.values()}
+        for path, lines in sorted(self.decl_lines.items()):
+            for line, tag in sorted(lines.items()):
+                if (path, line) in self.consumed:
+                    continue
+                if (tag == "em-thread-root"
+                        and (path, line) in def_lines):
+                    continue
+                self._add(
+                    "EM016", path, line,
+                    f"`# {tag}:` comment is attached to no construct "
+                    "the analysis recognizes (guards go on field "
+                    "assignment lines, holds/thread-root on `def` "
+                    "lines, em-lock on lock-creation lines)",
+                    f"{tag}@{line}")
+
+    def _check_undeclared_fields(self) -> None:
+        """EM013: monitor classes must declare their mutable fields."""
+        writes_by_class: dict[str, dict[str, int]] = {}
+        for qn, facts in self.fn_facts.items():
+            node = self.program.nodes[qn]
+            if node.cls is None:
+                continue
+            clskey = f"{node.module}.{node.cls}"
+            for attr, line, _held, in_init in facts.writes:
+                if in_init:
+                    continue
+                per = writes_by_class.setdefault(clskey, {})
+                per[attr] = min(per.get(attr, line), line)
+        for clskey in sorted(writes_by_class):
+            cs = self.class_scans.get(clskey)
+            if cs is None or not cs.locks:
+                continue
+            threads = class_threads(self.program, self.analysis, clskey)
+            if len(threads) < 2:
+                continue
+            for attr, line in sorted(writes_by_class[clskey].items()):
+                if attr in cs.locks:
+                    continue
+                if self.guard_for(clskey, attr) is not None:
+                    continue
+                anchor = cs.init_lines.get(attr, line)
+                self._add(
+                    "EM013", cs.path, anchor,
+                    f"{cs.key.rsplit('.', 1)[-1]}.{attr} is mutated "
+                    "outside __init__ in a class whose methods run on "
+                    f"threads {{{', '.join(sorted(threads))}}}; "
+                    "declare `# em-guarded-by: <lock-attr>` on its "
+                    "assignment (or `none -- why` to opt out)",
+                    f"{clskey}.{attr}")
+
+    def _check_guarded_writes(self) -> None:
+        """EM012: guarded fields are written with the guard held, and
+        ``em-holds`` callees are called with the contract satisfied."""
+        for qn in sorted(self.fn_facts):
+            facts = self.fn_facts[qn]
+            node = self.program.nodes[qn]
+            own_holds = self.holds.get(qn, frozenset())
+            clskey = (f"{node.module}.{node.cls}"
+                      if node.cls is not None else None)
+            if clskey is not None:
+                for attr, line, held, in_init in facts.writes:
+                    if in_init:
+                        continue
+                    gd = self.guard_for(clskey, attr)
+                    if gd is None or gd.lid is None:
+                        continue
+                    if gd.lid in held or gd.lid in own_holds:
+                        continue
+                    self._add(
+                        "EM012", node.path, line,
+                        f"write to {node.cls}.{attr} (guarded by "
+                        f"{self._lock_name(gd.lid)}) without the lock "
+                        "held; wrap the write in `with self."
+                        f"{gd.text}:` or declare `# em-holds: "
+                        f"{gd.text}` on the enclosing method",
+                        f"{node.local_name}:{attr}")
+            for callee, line, held in facts.calls:
+                req = self.holds.get(callee, frozenset())
+                for lid in sorted(req):
+                    if lid in held or lid in own_holds:
+                        continue
+                    cnode = self.program.nodes[callee]
+                    self._add(
+                        "EM012", node.path, line,
+                        f"call to {cnode.local_name} requires "
+                        f"{self._lock_name(lid)} held (its em-holds "
+                        "contract) but no path here holds it",
+                        f"{node.local_name}->{cnode.local_name}")
+
+    def _lock_edges(self) -> dict[tuple[LockId, LockId],
+                                  tuple[str, int, str]]:
+        edges: dict[tuple[LockId, LockId], tuple[str, int, str]] = {}
+        for qn in sorted(self.fn_facts):
+            facts = self.fn_facts[qn]
+            node = self.program.nodes[qn]
+            for outer, inner, line in facts.nests:
+                edges.setdefault((outer, inner),
+                                 (node.path, line, node.local_name))
+            for callee, line, held in facts.calls:
+                for lid in held:
+                    for acq in sorted(
+                            self.acquires.get(callee, frozenset())):
+                        if acq == lid and self.locks[lid].kind != "lock":
+                            continue  # re-entrant: RLock / Condition
+                        edges.setdefault(
+                            (lid, acq),
+                            (node.path, line, node.local_name))
+        return edges
+
+    def _check_lock_order(self) -> None:
+        """EM014: the acquires-while-holding graph must be acyclic."""
+        edges = self._lock_edges()
+        for (a, b), (path, line, scope) in sorted(edges.items()):
+            if a == b:  # non-reentrant re-acquisition: self-deadlock
+                self._add(
+                    "EM014", path, line,
+                    f"{self._lock_name(a)} is acquired while already "
+                    "held and threading.Lock is not reentrant: this "
+                    "deadlocks the first time the path executes",
+                    scope)
+        adj: dict[str, list[str]] = {}
+        names: dict[str, LockId] = {}
+        for (a, b) in edges:
+            if a == b:
+                continue
+            sa, sb = f"{a[0]}.{a[1]}", f"{b[0]}.{b[1]}"
+            names[sa], names[sb] = a, b
+            adj.setdefault(sa, []).append(sb)
+            adj.setdefault(sb, [])
+        for comp in tarjan_scc(list(adj), adj):
+            if len(comp) < 2:
+                continue
+            cycle = sorted(comp)
+            witness = None
+            for (a, b), w in sorted(edges.items()):
+                if (f"{a[0]}.{a[1]}" in comp
+                        and f"{b[0]}.{b[1]}" in comp and a != b):
+                    witness = w
+                    break
+            path, line, scope = witness if witness else ("", 0, "")
+            pretty = " -> ".join(
+                self._lock_name(names[s]) for s in cycle)
+            self._add(
+                "EM014", path, line,
+                f"lock-order cycle {{{pretty}}}: two threads taking "
+                "these locks in opposite orders deadlock; pick one "
+                "global order and restructure the off-order acquisition",
+                "::".join(cycle))
+
+    def _check_blocking(self) -> None:
+        """EM015: no blocking work under a strict (non-coarse) lock."""
+        for qn in sorted(self.fn_facts):
+            facts = self.fn_facts[qn]
+            node = self.program.nodes[qn]
+            for kind, line, held, exempt in facts.blockers:
+                strict = [lid for lid in held
+                          if not self.locks[lid].coarse and lid != exempt]
+                if strict:
+                    locks = ", ".join(
+                        self._lock_name(lid) for lid in strict)
+                    self._add(
+                        "EM015", node.path, line,
+                        f"blocking {kind} while holding {locks}; "
+                        "move the blocking work outside the critical "
+                        "section or declare the lock `# em-lock: "
+                        "coarse -- why` if holding it across blocking "
+                        "work is the design",
+                        f"{node.local_name}:{kind}")
+            for callee, line, held in facts.calls:
+                kinds = self.blocks.get(callee, frozenset())
+                if not kinds:
+                    continue
+                strict = [lid for lid in held
+                          if not self.locks[lid].coarse]
+                if not strict:
+                    continue
+                cnode = self.program.nodes[callee]
+                locks = ", ".join(self._lock_name(lid) for lid in strict)
+                self._add(
+                    "EM015", node.path, line,
+                    f"call to {cnode.local_name} may block "
+                    f"({', '.join(sorted(kinds))}) while holding "
+                    f"{locks}; move it outside the critical section "
+                    "or declare the lock `# em-lock: coarse -- why`",
+                    f"{node.local_name}->{cnode.local_name}")
+
+    # ------------------------------------------ phase 6: document --
+
+    def document(self) -> dict[str, object]:
+        fields: dict[str, object] = {}
+        guards_by_lock: dict[LockId, list[str]] = {
+            lid: [] for lid in self.locks}
+        for clskey in sorted(self.class_scans):
+            cs = self.class_scans[clskey]
+            for attr in sorted(cs.guards):
+                gd = cs.guards[attr]
+                fid = f"{clskey}.{attr}"
+                entry: dict[str, object] = {
+                    "guard": (f"{gd.lid[0]}.{gd.lid[1]}"
+                              if gd.lid is not None else "none")}
+                if gd.justification:
+                    entry["justification"] = gd.justification
+                fields[fid] = entry
+                if gd.lid is not None:
+                    guards_by_lock.setdefault(gd.lid, []).append(fid)
+        locks_doc: dict[str, object] = {}
+        for lid in sorted(self.locks):
+            info = self.locks[lid]
+            lentry: dict[str, object] = {
+                "kind": info.kind, "coarse": info.coarse,
+                "path": info.path, "line": info.line,
+                "guards": sorted(guards_by_lock.get(lid, []))}
+            if info.justification:
+                lentry["justification"] = info.justification
+            locks_doc[f"{lid[0]}.{lid[1]}"] = lentry
+        edges = self._lock_edges()
+        edges_doc = [
+            {"from": f"{a[0]}.{a[1]}", "to": f"{b[0]}.{b[1]}",
+             "witness": f"{w[0]}:{w[1]} ({w[2]})"}
+            for (a, b), w in sorted(edges.items()) if a != b]
+        adj: dict[str, list[str]] = {}
+        for (a, b) in edges:
+            if a != b:
+                adj.setdefault(f"{a[0]}.{a[1]}", []).append(
+                    f"{b[0]}.{b[1]}")
+                adj.setdefault(f"{b[0]}.{b[1]}", [])
+        cycles = [sorted(comp) for comp in tarjan_scc(list(adj), adj)
+                  if len(comp) > 1]
+        cycles += [[f"{a[0]}.{a[1]}"] for (a, b) in sorted(edges)
+                   if a == b]
+        functions: dict[str, object] = {}
+        for qn in sorted(self.fn_facts):
+            threads = self.analysis.threads_of(qn)
+            acq = self.acquires.get(qn, frozenset())
+            holds = self.holds.get(qn, frozenset())
+            blocks = self.blocks.get(qn, frozenset())
+            if (threads == frozenset({ROOT_MAIN}) and not acq
+                    and not holds and not blocks):
+                continue
+            functions[qn] = {
+                "threads": sorted(threads),
+                "acquires": sorted(f"{c}.{a}" for c, a in acq),
+                "holds": sorted(f"{c}.{a}" for c, a in holds),
+                "blocks": sorted(blocks),
+            }
+        return {
+            "schema_version": LOCKS_SCHEMA_VERSION,
+            "roots": {r: list(e) for r, e in self.analysis.roots.items()},
+            "locks": locks_doc,
+            "fields": fields,
+            "order": {"edges": edges_doc, "cycles": sorted(cycles)},
+            "functions": functions,
+            "summary": {
+                "locks": len(self.locks),
+                "guarded_fields": len(fields),
+                "order_edges": len(edges_doc),
+                "cycles": len(cycles),
+                "thread_roots": len(self.analysis.roots),
+                "functions": len(functions),
+            },
+        }
+
+
+class _FnScanner(ast.NodeVisitor):
+    """The lexical pass over one function body.
+
+    Tracks a typed local environment and the stack of locks held via
+    ``with`` at each point, recording writes, precisely-resolved
+    calls, blocking sites, and lock-nesting events.  Nested ``def``s
+    and lambdas keep the enclosing attribution (matching the call
+    graph's folding) but reset the held stack: a closure runs when
+    called, not under the locks of its definition site.
+    """
+
+    def __init__(self, ctx: _Emrace, qn: str, module: str,
+                 clskey: str | None, in_init: bool) -> None:
+        self.ctx = ctx
+        self.qn = qn
+        self.module = module
+        self.clskey = clskey
+        self.in_init = in_init
+        self.env: dict[str, tuple[str, Any]] = {}
+        self.held: list[LockId] = []
+        self.facts = FnFacts(qn=qn)
+
+    # -- environment / types ------------------------------------------
+
+    def _expr_type(self, expr: ast.expr) -> tuple[str, Any] | None:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._expr_type(expr.value)
+            if base is not None and base[0] == "cls":
+                return self.ctx.attr_type(base[1], expr.attr)
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self._expr_type(expr.value)
+            if base is not None and base[0] in ("dict", "list"):
+                inner: tuple[str, Any] | None = base[1]
+                return inner
+            return None
+        if isinstance(expr, ast.Call):
+            f = expr.func
+            if isinstance(f, ast.Attribute) and f.attr in ("get", "pop"):
+                recv = self._expr_type(f.value)
+                if recv is not None and recv[0] == "dict":
+                    value_t: tuple[str, Any] | None = recv[1]
+                    return value_t
+            ck = self._ctor_class(f)
+            if ck is not None:
+                return ("cls", ck)
+            callee = self._callee(f)
+            if callee is not None:
+                return self.ctx.return_type(callee)
+            return None
+        if isinstance(expr, ast.IfExp):
+            t = self._expr_type(expr.body)
+            return t if t is not None else self._expr_type(expr.orelse)
+        if isinstance(expr, ast.Await):
+            return self._expr_type(expr.value)
+        return None
+
+    def _ctor_class(self, func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            return self.ctx._class_for(self.module, func.id)
+        dotted = rules.dotted_name(func)
+        if dotted is not None and not dotted.startswith("self."):
+            return self.ctx._class_for(self.module, dotted)
+        return None
+
+    def _callee(self, func: ast.expr) -> str | None:
+        program = self.ctx.program
+        if isinstance(func, ast.Name):
+            qn = program.module_funcs.get((self.module, func.id))
+            if qn is not None:
+                return qn
+            ck = self.ctx._class_for(self.module, func.id)
+            if ck is not None:
+                init = f"{ck}.__init__"
+                return init if init in program.nodes else None
+            return None
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Name)
+                    and func.value.func.id == "super"):
+                return None
+            recv = self._expr_type(func.value)
+            if recv is not None and recv[0] == "cls":
+                return self.ctx.method_qn(recv[1], func.attr)
+            ck = self._ctor_class(func)
+            if ck is not None:
+                init = f"{ck}.__init__"
+                return init if init in program.nodes else None
+            dotted = rules.dotted_name(func)
+            if dotted is not None and "." in dotted:
+                parts = dotted.split(".")
+                t = program.imports.get(self.module, {}).get(parts[0])
+                if t is not None:
+                    full = _canonical(
+                        program, ".".join([t] + parts[1:]))
+                    if full in program.nodes:
+                        return full
+            return None
+        return None
+
+    # -- nested definitions: keep attribution, reset held stack -------
+
+    def _nested(self, node: ast.AST) -> None:
+        saved, self.held = self.held, []
+        try:
+            self.generic_visit(node)
+        finally:
+            self.held = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._nested(node)
+
+    # -- lock acquisition ---------------------------------------------
+
+    def _with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[LockId] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            t = self._expr_type(item.context_expr)
+            if t is not None and t[0] == "lock":
+                lid: LockId = t[1]
+                for outer in self.held:
+                    if outer != lid or self.ctx.locks[lid].kind == "lock":
+                        self.facts.nests.append(
+                            (outer, lid, node.lineno))
+                self.facts.acquired.add(lid)
+                self.held.append(lid)
+                acquired.append(lid)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    # -- writes --------------------------------------------------------
+
+    def _record_write(self, attr: str, line: int) -> None:
+        if self.clskey is None:
+            return
+        self.facts.writes.append(
+            (attr, line, tuple(self.held), self.in_init))
+
+    def _write_target(self, tgt: ast.expr, line: int) -> None:
+        if isinstance(tgt, (ast.Tuple, ast.List)):
+            for elt in tgt.elts:
+                self._write_target(elt, line)
+            return
+        if isinstance(tgt, ast.Starred):
+            self._write_target(tgt.value, line)
+            return
+        attr = _self_attr(tgt)
+        if attr is not None:
+            self._record_write(attr, line)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for tgt in node.targets:
+            self.visit(tgt)
+            self._write_target(tgt, node.lineno)
+        if len(node.targets) == 1 and isinstance(node.targets[0],
+                                                 ast.Name):
+            t = self._expr_type(node.value)
+            if t is not None:
+                self.env[node.targets[0].id] = t
+            else:
+                self.env.pop(node.targets[0].id, None)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self.visit(node.target)
+        self._write_target(node.target, node.lineno)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._write_target(node.target, node.lineno)
+        if isinstance(node.target, ast.Name):
+            t = self.ctx.resolve_ref(
+                _ann_ref(node.annotation, self.module))
+            if t is not None:
+                self.env[node.target.id] = t
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for tgt in node.targets:
+            self.visit(tgt)
+            self._write_target(tgt, node.lineno)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        elem: tuple[str, Any] | None = None
+        it = node.iter
+        if (isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)):
+            recv = self._expr_type(it.func.value)
+            if recv is not None and recv[0] == "dict":
+                if it.func.attr == "values":
+                    elem = recv[1]
+                elif (it.func.attr == "items"
+                      and isinstance(node.target, ast.Tuple)
+                      and len(node.target.elts) == 2
+                      and isinstance(node.target.elts[1], ast.Name)
+                      and recv[1] is not None):
+                    self.env[node.target.elts[1].id] = recv[1]
+        else:
+            t = self._expr_type(it)
+            if t is not None and t[0] == "list":
+                elem = t[1]
+        if elem is not None and isinstance(node.target, ast.Name):
+            self.env[node.target.id] = elem
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    # -- calls ---------------------------------------------------------
+
+    def _blocking(self, func: ast.expr) -> tuple[str | None,
+                                                 LockId | None]:
+        if isinstance(func, ast.Name):
+            return ("io", None) if func.id == "open" else (None, None)
+        if not isinstance(func, ast.Attribute):
+            return None, None
+        attr = func.attr
+        if attr == "wait":
+            recv = self._expr_type(func.value)
+            if (recv is not None and recv[0] == "lock"
+                    and self.ctx.locks[recv[1]].kind == "condition"):
+                lid: LockId = recv[1]
+                return "wait", lid
+            return None, None
+        if attr in CHARGE_METHODS:
+            return "charge", None
+        if attr == "serve_forever":
+            return "serve", None
+        if attr in rules.RAW_IO_METHODS or attr in BLOCKING_SOCKET:
+            return "io", None
+        if attr == "sleep":
+            dotted = rules.dotted_name(func)
+            if dotted is not None:
+                base = dotted.split(".")[0]
+                imp = self.ctx.program.imports.get(self.module, {})
+                if imp.get(base) == "time":
+                    return "sleep", None
+        return None, None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        held = tuple(self.held)
+        kind, exempt = self._blocking(node.func)
+        if kind is not None:
+            self.facts.blockers.append(
+                (kind, node.lineno, held, exempt))
+            self.facts.block_kinds.add(kind)
+        callee = self._callee(node.func)
+        if callee is not None:
+            self.facts.calls.append((callee, node.lineno, held))
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr in MUTATORS
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"):
+            self._record_write(func.value.attr, node.lineno)
+        self.generic_visit(node)
+
+
+# ------------------------------------------------------- public API --
+
+
+def evaluate_locks(
+        program: Program,
+        modules: Iterable[tuple[str, str, ast.AST,
+                                tuple[str, ...] | None]],
+        analysis: ThreadAnalysis,
+) -> tuple[list[LockFinding], dict[str, object]]:
+    """Run the emrace pass: findings plus the lock-graph document."""
+    emrace = _Emrace(program, analysis)
+    for path, source, tree, pkg_parts in modules:
+        emrace.scan_module(path, source, tree, pkg_parts)
+    emrace.resolve()
+    emrace.run_functions()
+    emrace.fixpoints()
+    findings = emrace.check()
+    return findings, emrace.document()
+
+
+def compact_lock_signatures(doc: dict[str, Any]) -> dict[str, Any]:
+    """Strip a lock-graph document to the drift-gate essentials.
+
+    The committed ``locks-baseline.json`` pins the lock inventory
+    (kind, coarseness, guarded fields), the field→guard map, the
+    lock-order edges, and the thread-root names — the concurrency
+    contract.  Paths, lines and per-function tables churn with every
+    refactor and are dropped.
+    """
+    locks = doc.get("locks", {})
+    return {
+        "schema_version": doc["schema_version"],
+        "roots": sorted(doc.get("roots", {})),
+        "locks": {
+            lid: {"kind": e["kind"], "coarse": e["coarse"],
+                  "guards": list(e["guards"])}
+            for lid, e in locks.items()},
+        "fields": {fid: e["guard"]
+                   for fid, e in doc.get("fields", {}).items()},
+        "edges": [f"{e['from']} -> {e['to']}"
+                  for e in doc.get("order", {}).get("edges", [])],
+    }
+
+
+def compare_lock_signatures(
+        committed: dict[str, Any],
+        doc: dict[str, Any]) -> tuple[list[str], list[str]]:
+    """Diff a committed locks baseline against a fresh document.
+
+    Returns ``(failures, notices)``.  Failures are the changes the
+    gate exists to catch: an existing field's guard moved, an
+    existing lock changed kind or coarseness, a *new* edge appeared
+    in the lock-order graph, or the graph has cycles.  Additions,
+    removals, and root-set changes are notices — visible in the log
+    and re-pinned by regenerating the baseline.
+    """
+    current = compact_lock_signatures(doc)
+    failures: list[str] = []
+    notices: list[str] = []
+    if committed.get("schema_version") != current["schema_version"]:
+        notices.append(
+            f"schema version moved "
+            f"{committed.get('schema_version')!r} -> "
+            f"{current['schema_version']!r}; regenerate the baseline")
+    for cyc in doc.get("order", {}).get("cycles", []):
+        failures.append(
+            f"lock-order cycle {{{' -> '.join(cyc)}}}: the graph "
+            "must stay acyclic")
+    old_locks = committed.get("locks", {})
+    new_locks = current["locks"]
+    for lid in sorted(old_locks.keys() - new_locks.keys()):
+        notices.append(f"lock {lid}: removed")
+    for lid in sorted(new_locks.keys() - old_locks.keys()):
+        notices.append(f"lock {lid}: added ({new_locks[lid]['kind']})")
+    for lid in sorted(old_locks.keys() & new_locks.keys()):
+        was, now = old_locks[lid], new_locks[lid]
+        if (was.get("kind") != now["kind"]
+                or was.get("coarse") != now["coarse"]):
+            failures.append(
+                f"lock {lid}: kind/coarse changed "
+                f"{was.get('kind')}/{was.get('coarse')} -> "
+                f"{now['kind']}/{now['coarse']} — a strictness change "
+                "is a concurrency-contract change; update the "
+                "annotation story and regenerate locks-baseline.json")
+        elif sorted(was.get("guards", [])) != sorted(now["guards"]):
+            notices.append(f"lock {lid}: guarded fields changed "
+                           f"{was.get('guards', [])} -> "
+                           f"{now['guards']}")
+    old_fields = committed.get("fields", {})
+    new_fields = current["fields"]
+    for fid in sorted(old_fields.keys() - new_fields.keys()):
+        notices.append(f"field {fid}: declaration removed")
+    for fid in sorted(new_fields.keys() - old_fields.keys()):
+        notices.append(
+            f"field {fid}: declared guarded by {new_fields[fid]}")
+    for fid in sorted(old_fields.keys() & new_fields.keys()):
+        if old_fields[fid] != new_fields[fid]:
+            failures.append(
+                f"field {fid}: guard moved {old_fields[fid]} -> "
+                f"{new_fields[fid]} without a baseline regeneration")
+    old_edges = set(committed.get("edges", []))
+    new_edges = set(current["edges"])
+    for e in sorted(old_edges - new_edges):
+        notices.append(f"order edge removed: {e}")
+    for e in sorted(new_edges - old_edges):
+        failures.append(
+            f"new lock-order edge {e}: a new acquires-while-holding "
+            "pair extends the global lock order; confirm it keeps "
+            "the graph acyclic and regenerate locks-baseline.json")
+    if sorted(committed.get("roots", [])) != current["roots"]:
+        notices.append(
+            f"thread roots changed {sorted(committed.get('roots', []))}"
+            f" -> {current['roots']}")
+    return failures, notices

@@ -1,0 +1,216 @@
+"""Thread-root inference for the ``emrace`` pass.
+
+The lock-discipline rules (EM012–EM016, :mod:`repro.lint.locks`) only
+matter for state that more than one thread can reach.  This module
+answers the reachability half of that question: it infers the
+program's **thread roots** and propagates a MAY-RUN-ON-THREADS set
+over the whole-program call graph built by
+:mod:`repro.lint.callgraph`.
+
+Roots:
+
+* ``main`` — the implicit root; every function may run on the main
+  thread (CLI entry points, tests, library use);
+* ``http`` — handler entry points: methods named ``do_*`` or
+  ``handle*`` on classes whose (transitive) bases resolve to
+  ``http.server.BaseHTTPRequestHandler`` /
+  ``socketserver.BaseRequestHandler``, plus any
+  ``Thread(target=server.serve_forever)`` site (the accept loop that
+  spawns those handler threads);
+* ``thread:<name>`` — one root per distinct
+  ``threading.Thread(target=...)`` target.  Targets that resolve to a
+  linted function or method enter there; closures and lambdas fold
+  into the function that spawned them (the collector already folds
+  nested defs), so the spawner itself is the entry — a sound
+  over-approximation.
+
+A function can also *declare* itself a root with
+``# em-thread-root: <root>`` on its ``def`` line.  This covers the
+one shape the collector folds away: a handler class defined *inside*
+a factory function (``obs/export.py::make_metrics_handler``), whose
+``do_GET`` body is attributed to the factory.
+
+Propagation is a breadth-first sweep per root over the
+over-approximating union call graph — exactly the right direction for
+MAY-run-on: a spurious edge can only add threads, never hide one.
+
+Like the rest of the lint package this is stdlib-only and never
+imports the code it inspects.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import Program
+
+#: ``# em-thread-root: <root>`` on a ``def`` line.
+THREAD_ROOT_RE = re.compile(r"#\s*em-thread-root:\s*([A-Za-z0-9_.:-]+)")
+
+#: The implicit root every function belongs to.
+ROOT_MAIN = "main"
+
+#: The root shared by all server-spawned request handler threads.
+ROOT_HTTP = "http"
+
+#: External bases whose subclasses' ``do_*``/``handle*`` methods run
+#: on server-spawned threads (matched against resolved base names).
+HANDLER_BASES = frozenset({
+    "http.server.BaseHTTPRequestHandler",
+    "socketserver.BaseRequestHandler",
+    "socketserver.StreamRequestHandler",
+})
+
+
+@dataclass
+class ThreadAnalysis:
+    """The inferred thread structure of one linted program."""
+
+    #: root name → sorted entry qualnames (``main`` maps to ``[]``:
+    #: its entry set is "every function" by definition).
+    roots: dict[str, list[str]] = field(default_factory=dict)
+    #: qualname → every root the function MAY run on (always
+    #: includes ``main``).
+    may_run: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def threads_of(self, qualname: str) -> frozenset[str]:
+        return self.may_run.get(qualname, frozenset({ROOT_MAIN}))
+
+    def multi_threaded(self, qualname: str) -> bool:
+        """May this function run on more than one thread root?"""
+        return len(self.threads_of(qualname)) > 1
+
+
+def parse_thread_root_declarations(source: str) -> dict[int, str]:
+    """Map line number → declared root name."""
+    out: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = THREAD_ROOT_RE.search(line)
+        if m is not None:
+            out[lineno] = m.group(1)
+    return out
+
+
+def _is_handler_class(program: Program, clskey: str) -> bool:
+    """Does ``clskey`` (transitively) extend a request-handler base?"""
+    from repro.lint.callgraph import linted_mro
+
+    for base in [clskey] + linted_mro(program, clskey):
+        if base in HANDLER_BASES:
+            return True
+    return False
+
+
+def _resolve_target(program: Program, spawner_qn: str, kind: str,
+                    text: str) -> tuple[str | None, list[str]]:
+    """One ``Thread(target=...)`` site → (root name, entry qualnames).
+
+    Returns ``(None, [])`` for serve-forever targets (they activate
+    the ``http`` root instead of one of their own).
+    """
+    spawner = program.nodes[spawner_qn]
+    last = text.rsplit(".", 1)[-1] if text else ""
+    if last == "serve_forever":
+        return None, []
+    if kind == "name":
+        qn = program.module_funcs.get((spawner.module, text))
+        if qn is not None:
+            return f"thread:{text}", [qn]
+        target = program.imports.get(spawner.module, {}).get(text)
+        if target is not None and target in program.nodes:
+            return f"thread:{text}", [target]
+        # A nested def, lambda-bound name, or local: the collector
+        # folded its body into the spawner, so the spawner is the
+        # entry.
+        return f"thread:{spawner.local_name}", [spawner_qn]
+    if kind in ("dotted", "attr") and last:
+        targets = program.methods.get(last, [])
+        if targets:
+            return f"thread:{last}", list(targets)
+    # Opaque (lambda / computed): the spawner's folded body runs.
+    return f"thread:{spawner.local_name}", [spawner_qn]
+
+
+def infer_threads(program: Program,
+                  sources: dict[str, str] | None = None) -> ThreadAnalysis:
+    """Infer thread roots and propagate MAY-RUN-ON-THREADS sets.
+
+    ``sources`` maps repo-relative path → file source, used only for
+    the ``# em-thread-root:`` declarations; omitting it disables that
+    escape hatch (the inferred roots still stand).
+    """
+    entries: dict[str, set[str]] = {}
+    http_active = False
+
+    # 1. threading.Thread(target=...) sites.
+    for qn, fn in program.nodes.items():
+        for kind, text, _line in fn.thread_targets:
+            if kind == "opaque" and not text:
+                root, qns = (f"thread:{fn.local_name}", [qn])
+            else:
+                root, qns = _resolve_target(program, qn, kind, text)
+            if root is None:
+                http_active = True
+                continue
+            entries.setdefault(root, set()).update(qns)
+
+    # 2. Request-handler classes: do_* / handle* methods enter on the
+    # server's per-request threads.
+    for clskey, meths in program.classes.items():
+        if not _is_handler_class(program, clskey):
+            continue
+        for meth in meths:
+            if meth.startswith("do_") or meth.startswith("handle"):
+                qn = f"{clskey}.{meth}"
+                if qn in program.nodes:
+                    entries.setdefault(ROOT_HTTP, set()).add(qn)
+                    http_active = True
+
+    # 3. Explicit declarations.
+    if sources:
+        decls_by_path: dict[str, dict[int, str]] = {
+            path: parse_thread_root_declarations(src)
+            for path, src in sources.items()}
+        for qn, fn in program.nodes.items():
+            root = decls_by_path.get(fn.path, {}).get(fn.line)
+            if root is not None:
+                entries.setdefault(root, set()).add(qn)
+                if root == ROOT_HTTP:
+                    http_active = True
+
+    if http_active:
+        entries.setdefault(ROOT_HTTP, set())
+
+    # 4. Propagate: per root, BFS over the union call graph.
+    may_run: dict[str, set[str]] = {
+        qn: {ROOT_MAIN} for qn in program.nodes}
+    for root, roots_entries in entries.items():
+        frontier = [qn for qn in roots_entries if qn in program.nodes]
+        seen = set(frontier)
+        while frontier:
+            qn = frontier.pop()
+            may_run[qn].add(root)
+            for callee in program.nodes[qn].edges:
+                if callee in program.nodes and callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+
+    analysis = ThreadAnalysis()
+    analysis.roots = {ROOT_MAIN: []}
+    for root in sorted(entries):
+        analysis.roots[root] = sorted(entries[root])
+    analysis.may_run = {
+        qn: frozenset(roots) for qn, roots in may_run.items()}
+    return analysis
+
+
+def class_threads(program: Program, analysis: ThreadAnalysis,
+                  clskey: str) -> frozenset[str]:
+    """Every root any method of ``clskey`` may run on — the shared-
+    state criterion: a class whose methods span ≥2 roots holds state
+    visible to concurrent threads."""
+    roots: set[str] = set()
+    for meth in program.classes.get(clskey, ()):
+        roots |= analysis.threads_of(f"{clskey}.{meth}")
+    return frozenset(roots)

@@ -108,33 +108,36 @@ class AdmissionController:
         self.default_timeout = default_timeout
         self.default_quota = default_quota
         self._cond = threading.Condition()
-        self._granted = 0
-        self._active: set[int] = set()
+        self._granted = 0  # em-guarded-by: _cond
+        self._active: set[int] = set()  # em-guarded-by: _cond
         # (need, ticket, owner); ticket is unique so tuple comparison
         # (smallest-first's min()) never reaches the owner element.
-        self._queue: list[tuple[int, int, str | None]] = []
+        self._queue: list[tuple[int, int, str | None]] = []  # em-guarded-by: _cond
         self._tickets = itertools.count(1)
-        self._quotas: dict[str, Quota] = {}
-        self._owner_inflight: dict[str, int] = {}
-        self._owner_granted: dict[str, int] = {}
-        self.stats = {"admitted": 0, "rejected": 0, "timeouts": 0,
-                      "released": 0, "peak_granted": 0, "peak_queue": 0,
-                      "quota_rejections": 0}
+        self._quotas: dict[str, Quota] = {}  # em-guarded-by: _cond
+        self._owner_inflight: dict[str, int] = {}  # em-guarded-by: _cond
+        self._owner_granted: dict[str, int] = {}  # em-guarded-by: _cond
+        self.stats = {"admitted": 0, "rejected": 0,  # em-guarded-by: _cond
+                      "timeouts": 0, "released": 0, "peak_granted": 0,
+                      "peak_queue": 0, "quota_rejections": 0}
 
     # -- introspection -------------------------------------------------
 
     @property
     def granted(self) -> int:
         """Budget currently handed out, in tuples."""
-        return self._granted
+        with self._cond:
+            return self._granted
 
     @property
     def available(self) -> int:
-        return self.budget - self._granted
+        with self._cond:
+            return self.budget - self._granted
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        with self._cond:
+            return len(self._queue)
 
     def snapshot(self) -> dict[str, object]:
         with self._cond:
@@ -184,7 +187,7 @@ class AdmissionController:
                 return None
             return self._quota_state_locked(owner)
 
-    def _quota_state_locked(self, owner: str) -> dict:
+    def _quota_state_locked(self, owner: str) -> dict:  # em-holds: _cond
         state: dict = {"inflight": self._owner_inflight.get(owner, 0),
                        "granted": self._owner_granted.get(owner, 0)}
         quota = self._quotas.get(owner, self.default_quota)
@@ -301,7 +304,8 @@ class AdmissionController:
                 f"capped at {quota.max_share:g} of the {self.budget}-"
                 f"tuple budget; no release can ever satisfy it")
 
-    def _quota_allows(self, owner: str | None, need: int) -> bool:
+    def _quota_allows(self, owner: str | None,  # em-holds: _cond
+                      need: int) -> bool:
         if owner is None:
             return True
         quota = self._quotas.get(owner, self.default_quota)
@@ -317,7 +321,8 @@ class AdmissionController:
             return False
         return True
 
-    def _my_turn(self, entry: tuple[int, int, str | None]) -> bool:
+    def _my_turn(self,  # em-holds: _cond
+                 entry: tuple[int, int, str | None]) -> bool:
         # Quota-blocked waiters are invisible to the ordering: a tenant
         # at its cap never stalls the tenants queued behind it.
         eligible = [e for e in self._queue
@@ -328,7 +333,8 @@ class AdmissionController:
             return eligible[0] is entry
         return min(eligible) == entry  # (need, ticket) natural order
 
-    def _grant(self, need: int, ticket: int | None = None,
+    def _grant(self, need: int,  # em-holds: _cond
+               ticket: int | None = None,
                owner: str | None = None,
                immediate: bool = True) -> Grant:
         grant = Grant(amount=need,

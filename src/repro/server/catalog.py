@@ -70,8 +70,9 @@ class Catalog:
         self.capacity = capacity
         self._lock = threading.Lock()
         # Insertion/refresh order doubles as least-recently-acquired.
-        self._entries: dict[str, CatalogEntry] = {}
-        self.stats = {"loads": 0, "hits": 0, "evictions": 0, "replaced": 0}
+        self._entries: dict[str, CatalogEntry] = {}  # em-guarded-by: _lock
+        self.stats = {"loads": 0, "hits": 0,  # em-guarded-by: _lock
+                      "evictions": 0, "replaced": 0}
 
     # -- loading -------------------------------------------------------
 
@@ -164,14 +165,16 @@ class Catalog:
                     **self.stats}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     # -- internals -----------------------------------------------------
 
-    def _get(self, name: str) -> CatalogEntry:
+    def _get(self, name: str) -> CatalogEntry:  # em-holds: _lock
         entry = self._entries.get(name)
         if entry is None:
             raise CatalogError(
@@ -179,7 +182,7 @@ class Catalog:
                 f"(loaded: {sorted(self._entries)})")
         return entry
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self) -> None:  # em-holds: _lock
         """Drop least-recently-acquired unpinned entries over capacity.
 
         Pinned entries are immune, so the catalog may transiently sit

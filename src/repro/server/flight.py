@@ -111,11 +111,11 @@ class FlightRecorder:
         self.capacity = capacity
         self.slow_ms = slow_ms
         self.clock = clock
-        self._records: deque[FlightRecord] = deque(maxlen=capacity)
+        self._records: deque[FlightRecord] = deque(maxlen=capacity)  # em-guarded-by: _lock
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
-        self.seen = 0
-        self.slow_count = 0
+        self.seen = 0  # em-guarded-by: _lock
+        self.slow_count = 0  # em-guarded-by: _lock
 
     # -- recording -----------------------------------------------------
 
@@ -140,12 +140,14 @@ class FlightRecorder:
 
     @property
     def stored(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     @property
     def overwritten(self) -> int:
         """Records the ring has dropped to make room (loss honesty)."""
-        return self.seen - len(self._records)
+        with self._lock:
+            return self.seen - len(self._records)
 
     def records(self, n: int | None = None, *,
                 slow_only: bool = False) -> list[FlightRecord]:

@@ -218,7 +218,18 @@ def start_http_server(service: "QueryService", host: str = "127.0.0.1",
     ``shutdown()`` stops the loop.
     """
     server = make_server(service, host, port)
-    thread = threading.Thread(target=server.serve_forever,
-                              name="repro-serve", daemon=True)
+
+    def _serve() -> None:
+        try:
+            server.serve_forever()
+        except Exception as exc:  # noqa: BLE001 - surfaced via /stats
+            # A dead serve loop with no symptom is the worst failure
+            # mode a daemon thread has; park the reason where stats()
+            # reports it, then let the thread die loudly.
+            service.note_server_crash(exc)
+            raise
+
+    thread = threading.Thread(target=_serve, name="repro-serve",
+                              daemon=True)
     thread.start()
     return server

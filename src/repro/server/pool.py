@@ -57,6 +57,8 @@ class SharedPool:
         self.device = Device(M=max(B, frames * B), B=B, metrics=metrics)
         self.B = B
         self.pool = BufferPool(self.device, config)
+        # em-lock: coarse -- every charge funnels through it by design;
+        # the pool is the one service-wide serialization point.
         self.lock = threading.Lock()
 
     def view(self, device: Device, owner: Hashable) -> "PoolView":
@@ -102,18 +104,19 @@ class PoolView:
         # EMFile (by identity) -> label.  Shared entries persist for the
         # view's lifetime; private ones are forgotten at end_query() so
         # dead temp files do not accumulate.
-        self._shared_labels: dict["EMFile", str] = {}
-        self._private_labels: dict["EMFile", str] = {}
-        self._private_set: set[str] = set()
-        self._n_private = 0
+        self._shared_labels: dict["EMFile", str] = {}  # em-guarded-by: shared.lock
+        self._private_labels: dict["EMFile", str] = {}  # em-guarded-by: shared.lock
+        self._private_set: set[str] = set()  # em-guarded-by: shared.lock
+        self._n_private = 0  # em-guarded-by: shared.lock
 
     # -- label management ---------------------------------------------
 
     def share(self, f: "EMFile", label: str) -> None:
         """Map this session's file onto a pool-wide shared label."""
-        self._shared_labels[f] = label
+        with self.shared.lock:
+            self._shared_labels[f] = label
 
-    def _label(self, f: "EMFile") -> str:
+    def _label(self, f: "EMFile") -> str:  # em-holds: shared.lock
         label = self._shared_labels.get(f)
         if label is not None:
             return label

@@ -73,6 +73,8 @@ class QueryService:
             else default_query_M
         self.workers = workers
         self.metrics = MetricsRegistry() if metrics is None else metrics
+        # em-guarded-by: none -- Catalog serializes internally; .add()
+        # here is Catalog.add (a locked method), not a bare container.
         self.catalog = Catalog(capacity=catalog_capacity)
         self.admission = AdmissionController(
             M, policy=admission_policy, default_timeout=admission_timeout,
@@ -87,14 +89,16 @@ class QueryService:
                                 B=B, max_pin_share=max_pin_share,
                                 metrics=self.metrics)
                      if pool_frames else None)
-        self._sessions: dict[str, Session] = {}
-        self._workers: list[Session] = []
+        self._sessions: dict[str, Session] = {}  # em-guarded-by: _lock
+        self._workers: list[Session] = []  # em-guarded-by: _lock
         self._lock = threading.Lock()
         # Registry updates are read-modify-write; sessions finish on
         # arbitrary threads, so serialize the folds.
         self._metrics_lock = threading.Lock()
         self._session_ids = itertools.count(1)
-        self.closed = False
+        self._worker_errors = 0  # em-guarded-by: _metrics_lock
+        self._serve_crash: str | None = None  # em-guarded-by: _metrics_lock
+        self.closed = False  # em-guarded-by: _lock
 
     # -- data ----------------------------------------------------------
 
@@ -181,11 +185,16 @@ class QueryService:
         def drain(w: int) -> None:
             for i in range(w, len(requests), c):
                 req = dict(requests[i])
-                query = req.pop("query")
+                query = req.pop("query", None)
                 try:
+                    if query is None:
+                        raise ServiceError(
+                            f"batch request {i} has no 'query'")
                     results[i] = workers[w].execute(query, **req)
                 except BaseException as exc:  # noqa: BLE001 - reported below
                     errors.append((i, exc))
+                    self._note_worker_error(workers[w].name, i, query,
+                                            req, exc)
                     return
 
         threads = [threading.Thread(target=drain, args=(w,),
@@ -210,6 +219,36 @@ class QueryService:
                 self._sessions[w.name] = w
                 self._workers.append(w)
             return self._workers[:c]
+
+    def _note_worker_error(self, worker: str, index: int, query,
+                           req: Mapping, exc: BaseException) -> None:
+        """Result-channel propagation for batch workers.
+
+        Every failure lands in ``stats()["errors"]``; failures the
+        session never flight-recorded (poisoned requests that die
+        before admission — parse errors, unknown instances, a missing
+        ``"query"`` key) additionally get a flight record here, so a
+        poisoned query is never invisible.
+        """
+        with self._metrics_lock:
+            self._worker_errors += 1
+            self.metrics.counter("service.worker_errors").inc()
+        flight = self.flight
+        if flight is None or getattr(exc, "_flight_recorded", False):
+            return
+        flight.record(
+            session=worker, owner=str(req.get("tenant") or worker),
+            query="<missing>" if query is None else str(query),
+            instance=str(req.get("instance", "default")),
+            status="error", arrival_unix=flight.clock(),
+            wait_ms=0.0, run_ms=0.0, total_ms=0.0,
+            error=f"batch request {index}: {exc!r}")
+
+    def note_server_crash(self, exc: BaseException) -> None:
+        """The HTTP serve thread died: make it visible in ``/stats``."""
+        with self._metrics_lock:
+            self._serve_crash = repr(exc)
+            self.metrics.counter("service.serve_crashes").inc()
 
     # -- fairness ------------------------------------------------------
 
@@ -264,7 +303,7 @@ class QueryService:
         with self._metrics_lock:
             self._observe_locked(result)
 
-    def _observe_locked(self, result: QueryResult) -> None:
+    def _observe_locked(self, result: QueryResult) -> None:  # em-holds: _metrics_lock
         m = self.metrics
         m.counter("service.queries").inc()
         m.counter("service.results").inc(result.results)
@@ -281,7 +320,7 @@ class QueryService:
         with self._metrics_lock:
             return self._refresh_metrics_locked()
 
-    def _refresh_metrics_locked(self) -> MetricsRegistry:
+    def _refresh_metrics_locked(self) -> MetricsRegistry:  # em-holds: _metrics_lock
         m = self.metrics
         adm = self.admission.snapshot()
         m.gauge("admission.granted_tuples").set(adm["granted"])
@@ -308,6 +347,9 @@ class QueryService:
         """The ``/stats`` payload: one JSON view of the whole engine."""
         with self._lock:
             sessions = [s.stats() for s in self._sessions.values()]
+        with self._metrics_lock:
+            errors = {"worker_errors": self._worker_errors,
+                      "serve_crash": self._serve_crash}
         return {
             "machine": {"M": self.M, "B": self.B,
                         "default_query_M": self.default_query_M},
@@ -317,6 +359,7 @@ class QueryService:
             "sessions": sessions,
             "flight": None if self.flight is None
             else self.flight.stats(),
+            "errors": errors,
         }
 
     # -- lifecycle -----------------------------------------------------

@@ -43,6 +43,7 @@ from repro.server.pool import shared_label
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.em.device import Device
     from repro.server.catalog import CatalogEntry
+    from repro.server.pool import PoolView
     from repro.server.service import QueryService
 
 _UNSET = object()
@@ -101,14 +102,16 @@ class Session:
         self._service = service
         self.name = name
         self._tracer = tracer
+        # em-lock: coarse -- held across admission waits and device
+        # charges by design: queries within one session run serially.
         self._lock = threading.Lock()
-        self._devices: dict[tuple[int, int], "Device"] = {}
-        self._views: dict[tuple[int, int], object] = {}
+        self._devices: dict[tuple[int, int], "Device"] = {}  # em-guarded-by: _lock
+        self._views: dict[tuple[int, int], "PoolView"] = {}  # em-guarded-by: _lock
         # (instance, generation, M, B) -> materialized Instance
-        self._instances: dict[tuple[str, int, int, int], Instance] = {}
-        self._pinned: list[tuple[object, object, int]] = []  # (view, f, page)
-        self.queries = 0
-        self.closed = False
+        self._instances: dict[tuple[str, int, int, int], Instance] = {}  # em-guarded-by: _lock
+        self._pinned: list[tuple[object, object, int]] = []  # em-guarded-by: _lock
+        self.queries = 0  # em-guarded-by: _lock
+        self.closed = False  # em-guarded-by: _lock
 
     # -- the query path ------------------------------------------------
 
@@ -156,14 +159,14 @@ class Session:
                         svc, owner=owner, text=text, instance=instance,
                         status="rejected", arrival=arrival, t0=t0,
                         wait0=wait0, M=M, B=B, need=need, depth=depth,
-                        error=str(exc))
+                        error=str(exc), exc=exc)
                     raise
                 except AdmissionTimeout as exc:
                     self._record_flight(
                         svc, owner=owner, text=text, instance=instance,
                         status="timeout", arrival=arrival, t0=t0,
                         wait0=wait0, M=M, B=B, need=need, depth=depth,
-                        error=str(exc))
+                        error=str(exc), exc=exc)
                     raise
                 wait_s = time.perf_counter() - wait0
                 try:
@@ -178,7 +181,7 @@ class Session:
                             B=B, need=need, depth=depth,
                             outcome=("granted" if grant.immediate
                                      else "queued"),
-                            wait_s=wait_s, error=str(exc))
+                            wait_s=wait_s, error=str(exc), exc=exc)
                         raise
                 finally:
                     svc.admission.release(grant)
@@ -219,12 +222,17 @@ class Session:
                        arrival: float, t0: float, wait0: float,
                        M: int, B: int, need: int, depth: int,
                        outcome: str | None = None, wait_s: float = 0.0,
-                       error: str | None = None) -> None:
+                       error: str | None = None,
+                       exc: BaseException | None = None) -> None:
         """Record a query that never produced a :class:`QueryResult`
         (admission failure or execution error)."""
         flight = svc.flight
         if flight is None:
             return
+        if exc is not None:
+            # Batch workers consult this so a failure the session has
+            # already recorded is not recorded a second time.
+            exc._flight_recorded = True  # type: ignore[attr-defined]
         now = time.perf_counter()
         if status in ("rejected", "timeout"):
             wait_s = now - wait0
@@ -244,9 +252,9 @@ class Session:
             total_ms=round((now - t0) * 1e3, 3), admission=admission,
             machine={"M": M, "B": B}, error=error)
 
-    def _run(self, q: JoinQuery, text: str, entry: "CatalogEntry",
-             instance: str, M: int, B: int, collect: bool,
-             reduce_first: bool) -> QueryResult:
+    def _run(self, q: JoinQuery, text: str,  # em-holds: _lock
+             entry: "CatalogEntry", instance: str, M: int, B: int,
+             collect: bool, reduce_first: bool) -> QueryResult:
         device = self._device(M, B)
         inst = self._materialize(entry, device, instance)
         view = self._views.get((M, B))
@@ -360,7 +368,7 @@ class Session:
 
     # -- internals -----------------------------------------------------
 
-    def _device(self, M: int, B: int) -> "Device":
+    def _device(self, M: int, B: int) -> "Device":  # em-holds: _lock
         from repro.em.device import Device
 
         device = self._devices.get((M, B))
@@ -380,8 +388,8 @@ class Session:
             self._devices[(M, B)] = device
         return device
 
-    def _materialize(self, entry: "CatalogEntry", device: "Device",
-                     instance: str) -> Instance:
+    def _materialize(self, entry: "CatalogEntry",  # em-holds: _lock
+                     device: "Device", instance: str) -> Instance:
         key = (instance, entry.generation, device.M, device.B)
         inst = self._instances.get(key)
         if inst is None:

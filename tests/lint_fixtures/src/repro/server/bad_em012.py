@@ -1,0 +1,21 @@
+"""Fixture: a declared guard violated by a lock-free write.
+
+``count`` declares ``_lock`` as its guard; ``bump`` mutates it with
+no lock held.  The declaration is the contract — EM012 fires whether
+or not the analysis can prove another thread exists.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # em-guarded-by: _lock
+
+    def bump(self):
+        self.count += 1
+
+    def bump_locked(self):
+        with self._lock:
+            self.count += 1

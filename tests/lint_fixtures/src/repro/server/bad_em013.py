@@ -1,0 +1,27 @@
+"""Fixture: a monitor class mutating an undeclared shared field.
+
+``Tally`` owns a lock and its ``add`` runs on two thread roots (the
+spawned worker and main), yet ``total`` carries no ``em-guarded-by``
+declaration.  The write is even correctly locked — EM013 is about
+the missing contract, not the missing lock.
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+
+def run():
+    tally = Tally()
+    worker = threading.Thread(target=tally.add, args=(1,))
+    worker.start()
+    tally.add(2)
+    worker.join()

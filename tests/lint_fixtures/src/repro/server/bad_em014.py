@@ -1,0 +1,32 @@
+"""Fixture: two locks nested in opposite orders on two threads.
+
+``ab`` acquires ``a`` then ``b``; ``ba`` acquires ``b`` then ``a``;
+``run`` arranges for both to execute concurrently.  The lock-order
+graph has the cycle ``a -> b -> a`` — the classic ABBA deadlock.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+
+    def ab(self):
+        with self.a:
+            with self.b:
+                pass
+
+    def ba(self):
+        with self.b:
+            with self.a:
+                pass
+
+
+def run():
+    pair = Pair()
+    worker = threading.Thread(target=pair.ab)
+    worker.start()
+    pair.ba()
+    worker.join()

@@ -1,0 +1,19 @@
+"""Fixture: blocking on a condition while holding an unrelated lock.
+
+Waiting on ``done`` releases *its* lock but keeps ``_lock`` held for
+the whole sleep, stalling every other ``_lock`` user.  ``_lock`` is
+not declared ``# em-lock: coarse``, so EM015 fires at the wait.
+"""
+
+import threading
+
+
+class Slow:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.done = threading.Condition()
+
+    def block(self):
+        with self._lock:
+            with self.done:
+                self.done.wait()

@@ -1,0 +1,14 @@
+"""Fixture: a guard declaration naming a lock that does not exist.
+
+``items`` claims to be guarded by ``_lok`` — a typo for ``_lock``.
+A drifted declaration is worse than none: readers trust it, and the
+EM012 check silently checks nothing.
+"""
+
+import threading
+
+
+class Drifty:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # em-guarded-by: _lok

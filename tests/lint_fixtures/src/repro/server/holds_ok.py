@@ -1,0 +1,21 @@
+"""Fixture: the ``em-holds`` contract used correctly (clean).
+
+``_append`` mutates a guarded field without taking the lock itself —
+legal, because its ``def`` line declares the caller must already
+hold ``_lock``, and its one caller does.
+"""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # em-guarded-by: _lock
+
+    def put(self, x):
+        with self._lock:
+            self._append(x)
+
+    def _append(self, x):  # em-holds: _lock
+        self.items.append(x)

@@ -1,0 +1,188 @@
+"""Concurrency regressions for the service layer.
+
+The emrace pass (EM012–EM016) proves lock *discipline* statically;
+these tests hammer the runtime side of the same contracts: the flight
+ring's loss honesty (``seen == stored + overwritten``) and the
+admission controller's quota counters under real thread interleavings
+(hypothesis drives the shape: thread count, rounds, capacities), plus
+the worker-error result channel — a poisoned batch request must land
+in ``stats()["errors"]`` and the flight log, never die silently on a
+daemon thread.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import line_query
+from repro.server import QueryService, ServiceError
+from repro.server.admission import AdmissionController
+from repro.server.flight import FlightRecorder
+from repro.workloads import fig3_line3_instance
+
+M, B = 8, 2  # the pinned line3_planner machine
+
+
+def line3_service(**kwargs) -> QueryService:
+    svc = QueryService(M=256, B=B, default_query_M=M, **kwargs)
+    schemas, data = fig3_line3_instance(16, 16)
+    svc.add_instance("default", schemas, data)
+    return svc
+
+
+# ------------------------------------------------- flight ring honesty
+
+
+@settings(max_examples=10, deadline=None)
+@given(capacity=st.integers(1, 8), threads=st.integers(2, 6),
+       per_thread=st.integers(1, 12))
+def test_flight_ring_honesty_under_concurrent_record(
+        capacity, threads, per_thread):
+    """``seen == stored + overwritten`` holds at every observation
+    point, ids stay unique and ordered, and no record is lost
+    silently — regardless of how the recording threads interleave."""
+    rec = FlightRecorder(capacity=capacity, clock=lambda: 0.0)
+    barrier = threading.Barrier(threads)
+
+    def hammer():
+        barrier.wait()  # maximize overlap: everyone starts together
+        for _ in range(per_thread):
+            rec.record(session="s", owner="s", query="q",
+                       instance="d", status="ok", arrival_unix=0.0,
+                       wait_ms=0.0, run_ms=0.0, total_ms=0.0)
+
+    ts = [threading.Thread(target=hammer) for _ in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    stats = rec.stats()
+    assert stats["seen"] == threads * per_thread
+    assert stats["seen"] == stats["stored"] + stats["overwritten"]
+    assert stats["stored"] == min(capacity, threads * per_thread)
+    assert rec.seen == rec.stored + rec.overwritten
+    ids = [r.id for r in rec.records()]
+    assert len(set(ids)) == len(ids)
+    assert ids == sorted(ids, reverse=True)  # newest first
+
+
+# --------------------------------------------- admission quota counters
+
+
+@settings(max_examples=10, deadline=None)
+@given(threads=st.integers(2, 6), rounds=st.integers(1, 8),
+       need=st.integers(1, 4))
+def test_admission_counters_under_concurrent_grant_release(
+        threads, rounds, need):
+    """After every thread's acquire/release pairs drain, the budget is
+    fully returned, the queue is empty, the grant/release tallies
+    match, and the stressed owner's quota counters read zero."""
+    ctl = AdmissionController(16, default_timeout=30.0)
+    ctl.set_quota("t", max_inflight=max(1, threads - 1))
+    barrier = threading.Barrier(threads)
+    over_budget = []
+
+    def worker():
+        barrier.wait()
+        for _ in range(rounds):
+            grant = ctl.acquire(need, owner="t")
+            try:
+                g = ctl.granted
+                if g > 16 or g < need:
+                    over_budget.append(g)
+            finally:
+                ctl.release(grant)
+
+    ts = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert over_budget == []
+    assert ctl.granted == 0 and ctl.queue_depth == 0
+    assert ctl.available == 16
+    snap = ctl.snapshot()
+    assert snap["in_flight"] == 0
+    assert snap["admitted"] == threads * rounds
+    assert snap["released"] == threads * rounds
+    quota = ctl.quota_state("t")
+    assert quota["inflight"] == 0 and quota["granted"] == 0
+
+
+# -------------------------------------------- worker error propagation
+
+
+class TestWorkerErrorSurfacing:
+    def test_poisoned_query_lands_in_stats_and_flight(self):
+        """A batch request naming an unknown relation fails *before*
+        the session's own flight recording; the worker channel must
+        still surface it in /stats and the flight log."""
+        with line3_service() as svc:
+            good = {"query": line_query(3), "M": M, "B": B}
+            with pytest.raises(ServiceError, match="request 1"):
+                svc.execute_batch([good, {"query": "e9(v1,v2)"}, good])
+            assert svc.stats()["errors"]["worker_errors"] == 1
+            errs = [r for r in svc.flight.records()
+                    if r.status == "error"]
+            assert len(errs) == 1
+            assert errs[0].query == "e9(v1,v2)"
+            assert "request 1" in errs[0].error
+
+    def test_missing_query_key_is_reported_not_silent(self):
+        with line3_service() as svc:
+            good = {"query": line_query(3), "M": M, "B": B}
+            with pytest.raises(ServiceError, match="request 1"):
+                svc.execute_batch([good, {"M": M, "B": B}, good])
+            assert svc.stats()["errors"]["worker_errors"] == 1
+            (rec,) = [r for r in svc.flight.records()
+                      if r.status == "error"]
+            assert rec.query == "<missing>"
+
+    def test_session_recorded_failures_are_not_double_recorded(self):
+        """An admission rejection already leaves a flight record via
+        the session; the worker channel must only bump the counter."""
+        svc = QueryService(M=2, B=2, default_query_M=M)
+        schemas, data = fig3_line3_instance(16, 16)
+        svc.add_instance("default", schemas, data)
+        with svc:
+            with pytest.raises(ServiceError):
+                svc.execute_batch([{"query": line_query(3),
+                                    "M": M, "B": B}])
+            stats = svc.flight.stats()
+            assert stats["seen"] == 1  # the session's own record
+            (rec,) = svc.flight.records()
+            assert rec.status == "rejected"
+            assert svc.stats()["errors"]["worker_errors"] == 1
+
+    def test_note_server_crash_surfaces_in_stats(self):
+        with line3_service() as svc:
+            assert svc.stats()["errors"]["serve_crash"] is None
+            svc.note_server_crash(RuntimeError("boom"))
+            assert "boom" in svc.stats()["errors"]["serve_crash"]
+
+    def test_http_serve_thread_crash_is_reported(self, monkeypatch):
+        """If the serve loop dies, the reason must appear in /stats
+        instead of vanishing with the daemon thread."""
+        from repro.server import http as http_mod
+
+        def boom(self, *a, **k):
+            raise RuntimeError("serve loop died")
+
+        monkeypatch.setattr(http_mod.ServiceServer, "serve_forever",
+                            boom)
+        monkeypatch.setattr(threading, "excepthook",
+                            lambda *_args: None)  # keep the log quiet
+        with line3_service() as svc:
+            server = http_mod.start_http_server(svc)
+            try:
+                for _ in range(200):
+                    crash = svc.stats()["errors"]["serve_crash"]
+                    if crash:
+                        break
+                    time.sleep(0.005)
+                assert "serve loop died" in crash
+            finally:
+                server.server_close()
