@@ -10,7 +10,7 @@ the reproduction's "shape" check.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.query.covers import cover_number
 from repro.query.hypergraph import JoinQuery
@@ -127,7 +127,8 @@ def nested_loop_cascade_bound(sizes: Sequence[int], M: int,
     return math.prod(sizes) / (M ** (n - 1) * B) + sum(sizes) / B
 
 
-def worst_case_psi(query: JoinQuery, subset, M: int, B: int) -> float:
+def worst_case_psi(query: JoinQuery, subset: Iterable[str], M: int,
+                   B: int) -> float:
     """``max_R Ψ(R, S)``: the worst-case subjoin cost from sizes alone.
 
     The worst-case size of the subjoin on ``S`` is the product, over
@@ -138,19 +139,20 @@ def worst_case_psi(query: JoinQuery, subset, M: int, B: int) -> float:
     """
     from repro.query.covers import agm_bound as _agm
 
-    subset = sorted(set(subset))
-    if not subset:
+    chosen = sorted(set(subset))
+    if not chosen:
         return 0.0
     size = 1.0
-    for component in query.connected_components(subset):
+    for component in query.connected_components(chosen):
         sub_q = query.drop_edges([e for e in query.edges
                                   if e not in component])
         size *= _agm(sub_q)
-    return size / (M ** (len(subset) - 1) * B)
+    return size / (M ** (len(chosen) - 1) * B)
 
 
-def worst_case_branch_bound(query: JoinQuery, collection, M: int,
-                            B: int) -> float:
+def worst_case_branch_bound(query: JoinQuery,
+                            collection: Iterable[Iterable[str]],
+                            M: int, B: int) -> float:
     """``max_{S ∈ collection} max_R Ψ(R, S)`` for one GenS branch."""
     return max((worst_case_psi(query, s, M, B) for s in collection if s),
                default=0.0)

@@ -29,7 +29,10 @@ Six subcommands::
         [--write-effects-baseline effects-baseline.json] \\
         [--locks lock_graph.json] \\
         [--check-locks locks-baseline.json] \\
-        [--write-locks-baseline locks-baseline.json]
+        [--write-locks-baseline locks-baseline.json] \\
+        [--costs cost_table.json] \\
+        [--check-costs costs-baseline.json] \\
+        [--write-costs-baseline costs-baseline.json]
 
     python -m repro serve --table R=follows.csv --table S=lives.csv \\
         [-M 4096 -B 64] [--host 127.0.0.1 --port 8707] \\
@@ -84,7 +87,17 @@ guarded fields, the lock-order graph, per-function thread/lock
 signatures) behind EM012–EM016; ``--check-locks`` diffs it against
 the committed ``locks-baseline.json`` and fails on cycles, guard
 moves, strictness changes, or new lock-order edges
-(``--write-locks-baseline`` regenerates it).  ``serve`` keeps a
+(``--write-locks-baseline`` regenerates it).  ``--costs PATH`` dumps
+the emcost symbolic I/O-cost table (per-function derived bounds in
+the paper's ``N``/``M``/``B``/``OUT`` vocabulary next to their
+``# em-cost:`` declarations — the input the cost-based planner
+consumes alongside the fitted constants) behind EM017–EM021;
+``--check-costs`` diffs it against the committed
+``costs-baseline.json`` and fails when a derived bound moved without
+a declaration update (``--write-costs-baseline`` regenerates it).
+All ``--check-*`` gates share one drift-report shape and also fail
+on committed entries whose justification is still the ``TODO:
+justify`` placeholder.  ``serve`` keeps a
 :class:`~repro.server.QueryService` alive behind a small HTTP surface:
 ``POST /query`` (JSON in/out, optional sticky sessions), ``GET
 /metrics`` (Prometheus text), ``/stats``, ``/catalog`` and
@@ -110,8 +123,10 @@ from repro.data.io import dump_results_csv, instance_from_csv
 from repro.em.bufferpool import PoolConfig
 from repro.em.device import Device
 from repro.em.policies import POLICIES
-from repro.lint import (RULES, Baseline, compact_effect_signatures,
+from repro.lint import (RULES, Baseline, compact_cost_signatures,
+                        compact_effect_signatures,
                         compact_lock_signatures,
+                        compare_cost_signatures,
                         compare_effect_signatures,
                         compare_lock_signatures, lint_paths,
                         load_baseline, to_human, to_json, write_baseline)
@@ -299,6 +314,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the compact effect-signature archive "
                            "(the --check-effects input) to PATH and "
                            "exit 0")
+    lint.add_argument("--costs", metavar="PATH",
+                      help="dump the emcost symbolic I/O-cost table "
+                           "(per-function derived bounds and em-cost "
+                           "declarations — the planner feed) as JSON "
+                           "to PATH ('-' for stdout)")
+    lint.add_argument("--check-costs", metavar="PATH",
+                      help="diff the live cost table against the "
+                           "committed archive at PATH; exit 1 when a "
+                           "function's derived bound changed without "
+                           "a matching '# em-cost:' declaration "
+                           "update")
+    lint.add_argument("--write-costs-baseline", metavar="PATH",
+                      help="write the compact cost-signature archive "
+                           "(the --check-costs input) to PATH and "
+                           "continue")
 
     serve = sub.add_parser(
         "serve", help="run the long-lived query service over HTTP")
@@ -787,6 +817,80 @@ def cmd_fit(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- CLI en
     return 1 if regression or drift else 0
 
 
+def _dump_json_doc(doc: object, path: str) -> None:  # em-effects: HOST_ONLY -- lint report writer
+    """Write one lint analysis document ('-' = stdout)."""
+    text = json.dumps(doc, indent=2, sort_keys=False)
+    if path == "-":
+        print(text)
+    else:
+        # host-side analysis artifact, not simulated-device I/O
+        with open(path, "w",  # emlint: disable=EM001
+                  encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def _write_archive(path: str, compact: dict, what: str) -> None:  # em-effects: HOST_ONLY -- lint archive writer
+    """Write one compact drift-gate archive (the --check-* input)."""
+    # host-side analysis artifact, not simulated-device I/O
+    with open(path, "w",  # emlint: disable=EM001
+              encoding="utf-8") as fh:
+        json.dump(compact, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"lint: wrote {what} to {path}")
+
+
+def _placeholder_failures(doc: object, trail: str = "") -> list[str]:
+    """Committed gate documents must not carry placeholder
+    justifications: an archive entry nobody justified was never
+    reviewed.  Walks any JSON document, returns one failure per
+    ``"justification": "TODO: justify"`` found."""
+    from repro.lint.baseline import PLACEHOLDER_JUSTIFICATION
+    found: list[str] = []
+    if isinstance(doc, dict):
+        for key, value in sorted(doc.items()):
+            here = f"{trail}.{key}" if trail else str(key)
+            if (key == "justification" and isinstance(value, str)
+                    and value.strip().startswith(
+                        PLACEHOLDER_JUSTIFICATION)):
+                found.append(
+                    f"{trail or '<root>'}: placeholder justification "
+                    f"({PLACEHOLDER_JUSTIFICATION!r}); fill it in "
+                    f"before committing")
+            else:
+                found.extend(_placeholder_failures(value, here))
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            found.extend(_placeholder_failures(value, f"{trail}[{i}]"))
+    return found
+
+
+def _drift_gate(kind: str, committed_path: str, live_doc: dict,
+                compare) -> list[str] | None:  # em-effects: HOST_ONLY -- reads committed archives, prints the diff
+    """One --check-* drift gate, shared by effects, locks and costs.
+
+    Returns the failure lines (empty = gate passed) or ``None`` when
+    the committed archive cannot be read (the caller exits 2, the
+    uniform bad-input code)."""
+    try:
+        # host-side analysis artifact, not simulated-device I/O
+        with open(committed_path,  # emlint: disable=EM001
+                  encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"lint: bad {kind} baseline {committed_path}: {exc}",
+              file=sys.stderr)
+        return None
+    failures, notices = compare(committed, live_doc)
+    failures = list(failures) + _placeholder_failures(committed)
+    for line in notices:
+        print(f"{kind}: {line}")
+    for line in failures:
+        print(f"{kind}: FAIL: {line}")
+    if not failures:
+        print(f"{kind}: checked against {committed_path}: ok")
+    return failures
+
+
 def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the checker reads sources and writes reports on the host
     if args.list_rules:
         for code, rule in sorted(RULES.items()):
@@ -811,86 +915,56 @@ def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the c
         return 0
 
     result = lint_paths(args.paths, root=args.root, baseline=baseline)
-    if args.effects:
-        table = json.dumps(result.signatures, indent=2,
-                           sort_keys=False)
-        if args.effects == "-":
-            print(table)
-        else:
-            # host-side analysis artifact, not simulated-device I/O
-            with open(args.effects, "w",  # emlint: disable=EM001
-                      encoding="utf-8") as fh:
-                fh.write(table + "\n")
+    for dump_path, doc in ((args.effects, result.signatures),
+                           (args.locks, result.locks),
+                           (args.costs, result.costs)):
+        if dump_path:
+            _dump_json_doc(doc, dump_path)
     if args.write_effects_baseline:
         compact = compact_effect_signatures(result.signatures)
-        # host-side analysis artifact, not simulated-device I/O
-        with open(args.write_effects_baseline, "w",  # emlint: disable=EM001
-                  encoding="utf-8") as fh:
-            json.dump(compact, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print(f"lint: wrote {len(compact['signatures'])} effect "
-              f"signature(s) to {args.write_effects_baseline}")
-    if args.locks:
-        table = json.dumps(result.locks, indent=2, sort_keys=False)
-        if args.locks == "-":
-            print(table)
-        else:
-            # host-side analysis artifact, not simulated-device I/O
-            with open(args.locks, "w",  # emlint: disable=EM001
-                      encoding="utf-8") as fh:
-                fh.write(table + "\n")
+        _write_archive(args.write_effects_baseline, compact,
+                       f"{len(compact['signatures'])} effect "
+                       f"signature(s)")
     if args.write_locks_baseline:
         compact = compact_lock_signatures(result.locks)
-        # host-side analysis artifact, not simulated-device I/O
-        with open(args.write_locks_baseline, "w",  # emlint: disable=EM001
-                  encoding="utf-8") as fh:
-            json.dump(compact, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print(f"lint: wrote {len(compact['locks'])} lock(s) and "
-              f"{len(compact['edges'])} order edge(s) to "
-              f"{args.write_locks_baseline}")
-    lock_failures: list[str] = []
-    if args.check_locks:
-        try:
-            # host-side analysis artifact, not simulated-device I/O
-            with open(args.check_locks,  # emlint: disable=EM001
-                      encoding="utf-8") as fh:
-                committed = json.load(fh)
-        except (OSError, ValueError) as exc:
-            print(f"lint: bad locks baseline {args.check_locks}: "
-                  f"{exc}", file=sys.stderr)
+        _write_archive(args.write_locks_baseline, compact,
+                       f"{len(compact['locks'])} lock(s) and "
+                       f"{len(compact['edges'])} order edge(s)")
+    if args.write_costs_baseline:
+        compact = compact_cost_signatures(result.costs)
+        _write_archive(args.write_costs_baseline, compact,
+                       f"{len(compact['costs'])} cost signature(s)")
+    # The three drift gates share one compare-and-report shape: load
+    # the committed archive (exit 2 when unreadable), reject
+    # placeholder justifications, diff, print notices and FAIL lines.
+    gate_failures: list[str] = []
+    for kind, committed_path, live_doc, compare in (
+            ("locks", args.check_locks, result.locks,
+             compare_lock_signatures),
+            ("effects", args.check_effects, result.signatures,
+             compare_effect_signatures),
+            ("costs", args.check_costs, result.costs,
+             compare_cost_signatures)):
+        if not committed_path:
+            continue
+        failures = _drift_gate(kind, committed_path, live_doc, compare)
+        if failures is None:
             return 2
-        lock_failures, notices = compare_lock_signatures(
-            committed, result.locks)
-        for line in notices:
-            print(f"locks: {line}")
-        for line in lock_failures:
-            print(f"locks: FAIL: {line}")
-        if not lock_failures:
-            n = len(result.locks.get("locks", {}))
-            print(f"locks: {n} lock(s) checked against "
-                  f"{args.check_locks}: ok")
-    effect_failures: list[str] = []
-    if args.check_effects:
-        try:
-            # host-side analysis artifact, not simulated-device I/O
-            with open(args.check_effects,  # emlint: disable=EM001
-                      encoding="utf-8") as fh:
-                committed = json.load(fh)
-        except (OSError, ValueError) as exc:
-            print(f"lint: bad effects baseline {args.check_effects}: "
-                  f"{exc}", file=sys.stderr)
-            return 2
-        effect_failures, notices = compare_effect_signatures(
-            committed, result.signatures)
-        for line in notices:
-            print(f"effects: {line}")
-        for line in effect_failures:
-            print(f"effects: FAIL: {line}")
-        if not effect_failures:
-            n = len(result.signatures.get("functions", {}))
-            print(f"effects: {n} signature(s) checked against "
-                  f"{args.check_effects}: ok")
+        gate_failures.extend(failures)
+    # Under any --check-* gate the suppression baseline is policed
+    # too: committed entries whose justification is still the
+    # --write-baseline placeholder were never reviewed and must not
+    # pass a CI-strict run silently.  (Plain runs stay lenient so the
+    # write-baseline-then-iterate workflow keeps working.)
+    gated_run = bool(args.check_locks or args.check_effects
+                     or args.check_costs)
+    for entry in (baseline.placeholder_entries() if gated_run else ()):
+        line = (f"lint: FAIL: {entry.path}: {entry.code} "
+                f"[{entry.scope}] baseline entry still carries the "
+                f"placeholder justification; justify it or fix the "
+                f"finding")
+        print(line)
+        gate_failures.append(line)
     if args.format == "json":
         print(to_json(result, baseline_path=args.baseline))
     else:
@@ -898,7 +972,7 @@ def cmd_lint(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- the c
     # Stale baseline entries fail the run too: the baseline documents
     # reality, and reality moved.
     return (0 if result.clean and not result.stale_baseline
-            and not effect_failures and not lock_failures else 1)
+            and not gate_failures else 1)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:  # em-effects: HOST_ONLY -- long-lived host process: sockets, stdout, CSV loading; measured I/O happens inside sessions

@@ -67,6 +67,9 @@ Plan = dict[PlanKey, str]
 # Single-branch execution
 # ---------------------------------------------------------------------------
 
+# em-cost: N^6/(M^5*B) + N/B -- one branch of Algorithm 2: the _run
+# recursion's declared summary, stated up to the L8 depth the line
+# dispatcher handles (Theorems 2-3 give the per-shape tight forms)
 def acyclic_join(query: JoinQuery, instance: Instance, emitter: Emitter,
                  chooser: Chooser | None = None, *,
                  paper_literal_buds: bool = False,
@@ -165,6 +168,11 @@ def _check_alignment(query: JoinQuery, instance: Instance) -> None:
                 f"query attrs + fixed {sorted(expected)}")
 
 
+# em-cost: amortized N^6/(M^5*B) + N/B * log(N/M) -- Algorithm 2's
+# recursion: peel depth and branch fan-out are query-size constants;
+# each level sorts and semijoins its relations (N/B*log(N/M)) and
+# re-runs children once per memory load, multiplying by at most N/M
+# per level, stated up to the L8 depth the line dispatcher handles
 def _run(query: JoinQuery, inst: Instance, emit: EmitFn,
          pick: Chooser, *, literal_buds: bool = False,
          trace=None, depth: int = 0) -> None:
@@ -219,6 +227,8 @@ def _peel_bud(query: JoinQuery, inst: Instance, emit: EmitFn,
     rebound = dict(inst)
     del rebound[bud]
     if not literal:
+        # em-loop-bound: 1 -- one sharer per query edge, and the edge
+        # count is a query-size constant
         for e2 in sharers:
             rel2 = inst[e2].sort_by(w)
             rebound[e2] = _merge_semijoin(rel2, bud_rel, w)
@@ -256,9 +266,13 @@ def _merge_semijoin(rel: Relation, filter_rel: Relation,
     right = filter_rel.data.reader()
 
     def matches():
+        # em-loop-bound: N -- one left tuple per iteration
         while not left.exhausted:
             t = left.next()
             kv = key_l(t)
+            # em-loop-bound: 1 -- the right cursor advances
+            # monotonically, so its fetches across the whole pass
+            # total one scan, counted in whole-pass units
             while not right.exhausted and key_r(right.peek()) < kv:
                 right.next()
             if not right.exhausted and key_r(right.peek()) == kv:
@@ -305,6 +319,8 @@ def _peel_leaf(query: JoinQuery, inst: Instance, emit: EmitFn,
     M = device.M
 
     rel_e = inst[leaf].sort_by(v)                       # line 12
+    # em-loop-bound: 1 -- one sort per neighbor, and the neighbor
+    # count is a query-size constant
     neighbors = {e2: inst[e2].sort_by(v)                # line 13
                  for e2 in sorted(info.neighbors)}
 
@@ -315,6 +331,8 @@ def _peel_leaf(query: JoinQuery, inst: Instance, emit: EmitFn,
     for g in groups:
         group_sizes.observe(g.count)
 
+    # em-loop-bound: 1 -- one boundary scan per neighbor, and the
+    # neighbor count is a query-size constant
     nb_groups = {
         e2: {g.value: g
              for g in group_boundaries(neighbors[e2].data,
@@ -341,6 +359,8 @@ def _peel_leaf_heavy(query, inst, emit, pick, leaf, info, rel_e, neighbors,
     v = info.join_attr
     child_q = (query.drop_edges([leaf])
                .drop_attributes(set(info.unique_attrs) | {v}))
+    # em-loop-bound: N/M -- a heavy value owns at least M tuples of
+    # R(e) (section 2.3), so at most N/M values are heavy
     for g in heavy_groups:
         a = g.value
         restricted: dict[str, Relation] = {}
@@ -400,6 +420,8 @@ def _peel_leaf_light(query, inst, emit, pick, leaf, info, rel_e, neighbors,
         rebound = dict(inst)
         del rebound[leaf]
         empty = False
+        # em-loop-bound: 1 -- one filter per neighbor, and the
+        # neighbor count is a query-size constant
         for e2, rel2 in neighbors.items():
             idx = nb_vidx[e2]
             rd = cursors[e2]
@@ -543,6 +565,9 @@ class BestRun:
         return len(self.runs) * self.best.io
 
 
+# em-cost: N^6/(M^5*B) + N/B -- every peel plan (a query-constant
+# number, capped by ``limit``) runs one Algorithm 2 branch on a cloned
+# device, then the best branch runs once for real
 def acyclic_join_best(query: JoinQuery, instance: Instance,
                       emitter: Emitter | None = None, *,
                       limit: int | None = None) -> BestRun:
@@ -563,6 +588,9 @@ def acyclic_join_best(query: JoinQuery, instance: Instance,
     if not plans:
         plans = [{}]
     runs: list[PlanRun] = []
+    # em-loop-bound: 1 -- the peel-plan count depends only on query
+    # structure (and is capped by ``limit``), a query-size constant in
+    # data-complexity terms
     for plan in plans:
         dev, inst = clone_instance(instance)
         counter = CountingEmitter()

@@ -30,6 +30,8 @@ from repro.query.hypergraph import JoinQuery
 from repro.query.shapes import detect_line
 
 
+# em-cost: N^2/(M*B) + N/B -- Theorem 1: Õ(N1·N3/(MB)) plus the
+# sorting and scanning passes the Õ absorbs
 def line3_join(query: JoinQuery, instance: Instance,
                emitter: Emitter) -> None:
     """Run Algorithm 1 on a 3-relation line join."""
@@ -68,6 +70,10 @@ def _heavy_values(r1s, r2s, r3s, v2, v3, heavy_groups, groups2,
     """Lines 4-7: per heavy value, materialize R2|a ⋈ R3 then NLJ with R1|a."""
     device = r1s.device
     M = device.M
+    # em-loop-bound: 1 -- Σ over heavy values a: the groups R2|a are
+    # disjoint (Σ|R2|a| ≤ N2) and there are at most N1/M heavy values,
+    # so the per-value merges and nested loops are counted together in
+    # whole-input units (the Σ argument of Theorem 1)
     for g in heavy_groups:
         a = g.value
         g2 = groups2.get(a)
@@ -83,6 +89,8 @@ def _heavy_values(r1s, r2s, r3s, v2, v3, heavy_groups, groups2,
         def write_pair(result, _w=writer):
             _w.append((result[r2s.name], result[r3s.name]))
 
+        # em-charges: N/B -- every tuple of R2|a has a distinct v3, so
+        # no v3 value is heavy and the hybrid join is one merge pass
         sort_merge_join(r2a_by_v3, r3s, CallbackEmitter(write_pair))
         writer.close()
 
@@ -119,6 +127,9 @@ def _light_values(r1s, r2s, r3s, v2, v3, light_groups, emitter) -> None:
         if device.block_mode:
             # Block take-while: fetch the current page (charged exactly
             # as a peek would), consume the <= vmax prefix for free.
+            # em-loop-bound: N/B -- one page per iteration; the cursor
+            # is shared across chunks, so all take-whiles together make
+            # one pass over R2
             while not cursor2.exhausted:
                 page = cursor2.peek_page_block()
                 taken = 0
@@ -132,6 +143,8 @@ def _light_values(r1s, r2s, r3s, v2, v3, light_groups, emitter) -> None:
                 if taken < len(page):
                     break
         else:
+            # em-loop-bound: N -- one tuple per iteration of the shared
+            # cursor's single pass over R2
             while not cursor2.exhausted and cursor2.peek()[i2] <= vmax:
                 t = cursor2.next()
                 if t[i2] in values:
@@ -147,4 +160,6 @@ def _light_values(r1s, r2s, r3s, v2, v3, light_groups, emitter) -> None:
             for t1 in _by_value.get(t2[_i2], ()):
                 emitter.emit({r1s.name: t1, r2s.name: t2, r3s.name: t3})
 
+        # em-charges: N/B -- |R2(M1)| ≤ 2M with no heavy v3 value, so
+        # the hybrid join is one merge pass over R2(M1) and R3
         sort_merge_join(r2m_by_v3, r3s, CallbackEmitter(match_back))

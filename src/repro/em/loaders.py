@@ -47,6 +47,7 @@ class Group:
         return self.count >= M
 
 
+# em-cost: N/B -- one sequential scan of the sorted segment
 def group_boundaries(segment: FileSegment, key: Key) -> list[Group]:
     """Scan a sorted segment once and return its value groups in order.
 
@@ -63,6 +64,7 @@ def group_boundaries(segment: FileSegment, key: Key) -> list[Group]:
     if segment.device.block_mode:
         pos = segment.start
         append = groups.append
+        # em-loop-bound: N/B -- one page block per iteration
         while not reader.exhausted:
             block = reader.read_page_block()
             keys = list(map(key, block))
@@ -77,6 +79,7 @@ def group_boundaries(segment: FileSegment, key: Key) -> list[Group]:
                     current_value, current_start = v, pos + i
             pos += len(keys)
     else:
+        # em-loop-bound: N -- one tuple per iteration
         while not reader.exhausted:
             pos = reader.position
             t = reader.next()
@@ -98,6 +101,8 @@ def split_heavy_light(groups: list[Group], M: int) -> tuple[list[Group], list[Gr
     return heavy, light
 
 
+# em-cost: N/B -- each page of the segment is read exactly once
+# em-yields: N/M
 def load_chunks(segment: FileSegment, M: int) -> Iterator[list[Tuple]]:
     """Yield successive memory loads of up to ``M`` tuples.
 
@@ -106,17 +111,24 @@ def load_chunks(segment: FileSegment, M: int) -> Iterator[list[Tuple]]:
     """
     reader = segment.reader()
     block_mode = segment.device.block_mode
+    # em-loop-bound: N/M -- one memory-load of tuples per iteration
     while not reader.exhausted:
         chunk = reader.read_block(M) if block_mode else reader.read_up_to(M)
         with segment.device.memory.hold(len(chunk)):
             yield chunk
 
 
+# em-cost: N/B -- one pass over the group's pages (via load_chunks)
+# em-yields: N/M
 def load_group_chunks(segment: FileSegment, group: Group, M: int) -> Iterator[list[Tuple]]:
     """Yield ``M``-tuple loads of one group: ``load R(e)|_{v=a}``."""
     yield from load_chunks(segment.subsegment(group.start, group.stop), M)
 
 
+# em-cost: amortized N/B -- the group spans read are disjoint and in
+# file order, so together they touch each page of the segment at most
+# once; per-group accounting would overcount shared boundary pages
+# em-yields: N/M
 def load_light_chunks(segment: FileSegment, light_groups: list[Group],
                       M: int) -> Iterator[list[Tuple]]:
     """Yield memory loads covering the light groups, in value order.
@@ -177,6 +189,8 @@ def load_light_chunks(segment: FileSegment, light_groups: list[Group],
             yield chunk
 
 
+# em-cost: N/B -- one sequential scan of the segment
+# em-yields: N
 def scan_matching(segment: FileSegment, key: Key,
                   wanted: set) -> Iterator[Tuple]:
     """Stream the tuples of a segment whose key value is in ``wanted``.

@@ -26,6 +26,8 @@ from repro.em.file import EMFile, FileSegment, Tuple
 Key = Callable[[Tuple], Any]
 
 
+# em-cost: N/B * log(N/M) + N/B -- form runs in one pass, then
+# log_{M/B}(N/M) merge levels each re-reading and re-writing the data
 def external_sort(source: EMFile | FileSegment, key: Key,
                   name: str | None = None) -> EMFile:
     """Sort ``source`` by ``key`` into a new file on the same device.
@@ -44,6 +46,7 @@ def external_sort(source: EMFile | FileSegment, key: Key,
     return merged
 
 
+# em-cost: N/B -- each input tuple is read once and written into a run once
 def _form_runs(segment: FileSegment, key: Key,
                name: str | None) -> list[EMFile]:
     """Phase 1: read ``M`` tuples at a time, sort in memory, write runs."""
@@ -54,6 +57,7 @@ def _form_runs(segment: FileSegment, key: Key,
     reader = segment.reader()
     i = 0
     with device.span("form_runs"):
+        # em-loop-bound: N/M -- one memory-load chunk per iteration
         while not reader.exhausted:
             # Charge the gauge *before* reading: the chunk occupies
             # memory as it streams in, so a strict budget must police
@@ -69,6 +73,7 @@ def _form_runs(segment: FileSegment, key: Key,
                     if block_mode:
                         w.append_block(chunk)
                     else:
+                        # em-loop-bound: M -- the chunk fits in memory
                         for t in chunk:
                             w.append(t)
             run_lengths.observe(n)
@@ -85,15 +90,21 @@ def _form_runs(segment: FileSegment, key: Key,
     return runs
 
 
+# em-cost: N/B * log(N/M) -- one full read-and-write pass per merge level
 def _merge_runs(device: Device, runs: list[EMFile], key: Key,
                 name: str | None) -> EMFile:
     """Phase 2: repeatedly merge with fan-in ``max(2, M//B - 1)``."""
     fan_in = max(2, device.M // device.B - 1)
     level = 0
+    # em-loop-bound: log(N/M) -- fan-in M/B shrinks the run count
+    # geometrically, so the level count is log_{M/B}(N/M)
     while len(runs) > 1:
         with device.span("merge_level", level=level, runs=len(runs),
                          fan_in=fan_in):
             next_runs: list[EMFile] = []
+            # em-loop-bound: 1 -- the batches partition this level's
+            # runs, so one level's merges together read and write each
+            # tuple once; _merge_once is counted in whole-level units
             for j in range(0, len(runs), fan_in):
                 batch = runs[j:j + fan_in]
                 out_name = (None if name is None
@@ -108,6 +119,8 @@ def _merge_runs(device: Device, runs: list[EMFile], key: Key,
     return result
 
 
+# em-cost: amortized N/B -- one pass over the batch: every page of the
+# input runs is read once and every output page is written once
 def _merge_once(device: Device, runs: list[EMFile], key: Key,
                 name: str | None) -> EMFile:
     """Merge up to fan-in runs into one sorted file via a tournament."""

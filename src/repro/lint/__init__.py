@@ -46,6 +46,16 @@ EM015    no blocking work (waits, charges, raw I/O, sleeps) while
          holding a strict (non-``coarse``) lock
 EM016    lock/guard/holds declarations must name real locks and
          attach to real constructs
+EM017    algorithm entry points with charge-reachable I/O must
+         carry an ``# em-cost:`` declaration
+EM018    the derived symbolic I/O cost must not exceed the
+         declared bound (catches accidental quadratic rescans)
+EM019    data-dependent loops performing charged I/O need an
+         ``# em-loop-bound:`` annotation
+EM020    cost declarations must parse, match the derived reality,
+         and justify trusted ``amortized`` summaries
+EM021    every Device charge site must be reachable from a
+         cost-declared function
 =======  ============================================================
 
 EM007–EM011 run on a second, whole-program pass
@@ -57,13 +67,24 @@ third pass, *emrace* (:mod:`repro.lint.threads` +
 :mod:`repro.lint.locks`): thread roots are inferred and propagated
 over the same call graph, lock facts flow through a precise typed
 resolution, and ``repro lint --locks`` dumps the lock-graph
-document the ``--check-locks`` drift gate pins.
+document the ``--check-locks`` drift gate pins.  EM017–EM021 are
+the fourth pass, *emcost* (:mod:`repro.lint.symbolic` +
+:mod:`repro.lint.costs`): every charge site is mapped through loop
+nests and call chains to a per-function symbolic I/O bound in the
+paper's own vocabulary (``N``, ``M``, ``B``, ``OUT``, ``log``),
+checked against ``# em-cost:`` declarations on the algorithm entry
+points; ``repro lint --costs`` dumps the table the
+``--check-costs`` drift gate pins (and the future planner
+consumes).
 """
 
 from repro.lint.baseline import (Baseline, BaselineEntry, load_baseline,
                                  write_baseline)
 from repro.lint.callgraph import (EFFECT_NAMES, UNKNOWN, FunctionNode,
                                   Program, build_program)
+from repro.lint.costs import (COSTS_SCHEMA_VERSION, CostFinding,
+                              compact_cost_signatures,
+                              compare_cost_signatures, evaluate_costs)
 from repro.lint.effects import (EFFECTS_SCHEMA_VERSION, EffectFinding,
                                 compact_effect_signatures,
                                 compare_effect_signatures, evaluate,
@@ -72,6 +93,8 @@ from repro.lint.locks import (LOCKS_SCHEMA_VERSION, LockFinding,
                               compact_lock_signatures,
                               compare_lock_signatures, evaluate_locks)
 from repro.lint.registry import RULES, Rule
+from repro.lint.symbolic import (Cost, CostSyntaxError, Term,
+                                 evaluate_cost, parse_cost)
 from repro.lint.threads import ThreadAnalysis, infer_threads
 from repro.lint.report import REPORT_SCHEMA_VERSION, to_human, to_json
 from repro.lint.visitor import (LintResult, Violation, check_source,
@@ -89,4 +112,7 @@ __all__ = [
     "ThreadAnalysis", "infer_threads", "LockFinding", "evaluate_locks",
     "compact_lock_signatures", "compare_lock_signatures",
     "LOCKS_SCHEMA_VERSION",
+    "Cost", "Term", "parse_cost", "evaluate_cost", "CostSyntaxError",
+    "CostFinding", "evaluate_costs", "compact_cost_signatures",
+    "compare_cost_signatures", "COSTS_SCHEMA_VERSION",
 ]

@@ -259,3 +259,68 @@ _register(Rule(
               "that no longer exists is documentation rot that makes "
               "every other emrace guarantee unverifiable.",
 ))
+
+_register(Rule(
+    code="EM017",
+    name="undeclared-cost-root",
+    summary="algorithm entry point with charge-reachable I/O but no "
+            "`# em-cost:` declaration",
+    layers=("core", "em"),
+    rationale="The per-function symbolic cost table is the static "
+              "half of the Table-1 contract (the fitted slope gate "
+              "is the dynamic half); an entry point without a "
+              "declared bound contributes I/O the table cannot "
+              "certify.",
+))
+
+_register(Rule(
+    code="EM018",
+    name="cost-bound-exceeded",
+    summary="derived symbolic I/O cost asymptotically exceeds the "
+            "declared `# em-cost:` bound",
+    layers=(),
+    rationale="An accidental nested rescan turns O(N/B) into "
+              "O(N²/B) without changing a single test result at "
+              "small sizes; comparing the derived bound against the "
+              "declared one catches the quadratic blow-up at lint "
+              "time instead of after a full benchmark sweep.",
+))
+
+_register(Rule(
+    code="EM019",
+    name="unbounded-costly-loop",
+    summary="data-dependent loop (or recursive cycle) performing "
+            "charged I/O with no `# em-loop-bound:` annotation",
+    layers=("core", "em"),
+    rationale="A loop the analysis cannot bound defaults to N "
+              "iterations, which poisons every enclosing bound; the "
+              "annotation both fixes the trip count and records the "
+              "amortization argument the paper's proofs rely on.",
+))
+
+_register(Rule(
+    code="EM020",
+    name="cost-declaration-drift",
+    summary="emcost annotation errors: unparseable expressions, "
+            "stale over-declared bounds, trusted `amortized` "
+            "summaries without a justification, orphaned "
+            "annotations",
+    layers=(),
+    rationale="Cost declarations feed the planner's cost model and "
+              "the drift gate; a declaration that no longer matches "
+              "the derived reality is worse than none because it "
+              "certifies a bound nobody checked.",
+))
+
+_register(Rule(
+    code="EM021",
+    name="unattributed-charge-site",
+    summary="Device charge site not reachable from any "
+            "cost-declared function",
+    layers=(),
+    rationale="I/O that no declared root reaches is invisible to "
+              "the symbolic cost table: the block transfers happen "
+              "and are counted dynamically, but no static bound "
+              "accounts for them, so the certified expressions "
+              "silently under-approximate.",
+))

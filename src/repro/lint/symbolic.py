@@ -1,0 +1,383 @@
+"""The symbolic I/O-cost domain behind *emcost* (EM017–EM021).
+
+Costs are the closed forms the paper states bounds in (Table 1):
+sums of monomials over ``N`` (input tuples), ``M`` (memory),
+``B`` (block size) and ``OUT`` (emitted results), with fractional
+exponents (``sqrt(N^3/M)/B`` for the triangle join) and a ``log``
+pseudo-factor for the ``log_{M/B}`` sort terms.  The domain is an
+*asymptotic* one: numeric coefficients are dropped at parse time and
+``log`` factors are ignored by the comparison, so two costs compare
+the way ``Õ``-bounds do in the paper.
+
+Comparison is exact monomial dominance under the model's parameter
+chain ``1 ≤ B ≤ M ≤ N`` (with ``OUT ≥ 1`` independent).  Pointwise
+exponent comparison would be wrong here — ``N/M = O(N/B)`` only
+*because* ``M ≥ B`` — so terms are compared in a transformed basis of
+cumulative exponents: for a monomial ``N^a · M^b · B^c · OUT^d`` the
+key is ``(a, a+b, a+b+c, d)`` and ``t₂ = O(t₁)`` iff ``key(t₂) ≤
+key(t₁)`` componentwise.  (Substituting ``M = N^y``, ``B = N^z`` with
+``0 ≤ z ≤ y ≤ 1`` makes the exponent ``a + by + cz``; the cumulative
+key is exactly the value of that linear form at the vertices of the
+constraint simplex, so the componentwise test is necessary *and*
+sufficient.)
+
+Everything here is pure data manipulation: no I/O, no imports beyond
+the stdlib, strict-mypy clean like the rest of :mod:`repro.lint`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+#: The closed variable vocabulary of the cost grammar (the paper's
+#: parameters).  Unknown names are a parse error, not a new variable:
+#: the planner consumes these expressions and must know every symbol.
+COST_VARS = ("N", "M", "B", "OUT")
+
+#: Pseudo-variable for logarithmic factors; its argument is parsed
+#: and discarded (``Õ`` hides it), the exponent is kept for display.
+LOG = "log"
+
+
+class CostSyntaxError(ValueError):
+    """A cost expression that does not parse or uses unknown names."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """One monomial: variable → exponent (zero exponents dropped)."""
+
+    exps: tuple[tuple[str, Fraction], ...]
+
+    @classmethod
+    def make(cls, mapping: Mapping[str, Fraction]) -> "Term":
+        return cls(tuple(sorted((v, e) for v, e in mapping.items()
+                                if e != 0)))
+
+    @classmethod
+    def one(cls) -> "Term":
+        return cls(())
+
+    @classmethod
+    def var(cls, name: str, exp: Fraction = Fraction(1)) -> "Term":
+        return cls.make({name: exp})
+
+    def exp(self, name: str) -> Fraction:
+        for v, e in self.exps:
+            if v == name:
+                return e
+        return Fraction(0)
+
+    def mul(self, other: "Term") -> "Term":
+        merged = dict(self.exps)
+        for v, e in other.exps:
+            merged[v] = merged.get(v, Fraction(0)) + e
+        return Term.make(merged)
+
+    def pow(self, k: Fraction) -> "Term":
+        return Term.make({v: e * k for v, e in self.exps})
+
+    @property
+    def key(self) -> tuple[Fraction, Fraction, Fraction, Fraction]:
+        """The dominance key ``(a, a+b, a+b+c, d)`` (log ignored)."""
+        a = self.exp("N")
+        b = self.exp("M")
+        c = self.exp("B")
+        return (a, a + b, a + b + c, self.exp("OUT"))
+
+    def dominates(self, other: "Term") -> bool:
+        """``other = O(self)`` under ``1 ≤ B ≤ M ≤ N``, up to logs."""
+        return all(o <= s for o, s in zip(other.key, self.key))
+
+    def render(self) -> str:
+        num: list[str] = []
+        den: list[str] = []
+        for v, e in self.exps:
+            side, mag = (num, e) if e > 0 else (den, -e)
+            if v == LOG:
+                side.append(LOG if mag == 1 else f"{LOG}^{_exp(mag)}")
+            elif mag == 1:
+                side.append(v)
+            else:
+                side.append(f"{v}^{_exp(mag)}")
+        top = "*".join(num) if num else "1"
+        if not den:
+            return top
+        bot = "*".join(den)
+        if len(den) > 1:
+            bot = f"({bot})"
+        return f"{top}/{bot}"
+
+
+def _exp(e: Fraction) -> str:
+    return str(e.numerator) if e.denominator == 1 else f"({e})"
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An asymptotic cost: a maximal antichain of monomials, or top.
+
+    ``terms`` never contains a term dominated by another (``add``
+    normalizes); the empty set is the zero cost.  ``top`` marks a
+    bound the analysis could not derive (the lattice top).
+    """
+
+    terms: frozenset[Term] = frozenset()
+    top: bool = False
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.top and not self.terms
+
+    def add(self, other: "Cost") -> "Cost":
+        if self.top or other.top:
+            return TOP
+        return Cost(_normalize(self.terms | other.terms))
+
+    def mul(self, other: "Cost") -> "Cost":
+        if self.is_zero or other.is_zero:
+            return ZERO
+        if self.top or other.top:
+            return TOP
+        return Cost(_normalize(
+            a.mul(b) for a in self.terms for b in other.terms))
+
+    def le(self, other: "Cost") -> bool:
+        """``self = Õ(other)``: every term dominated by one of theirs."""
+        if other.top:
+            return True
+        if self.top:
+            return False
+        return all(any(t.dominates(s) for t in other.terms)
+                   for s in self.terms)
+
+    def excess_over(self, other: "Cost") -> list[Term]:
+        """The terms of ``self`` that break ``self = Õ(other)``."""
+        if other.top or self.top:
+            return []
+        return sorted((s for s in self.terms
+                       if not any(t.dominates(s) for t in other.terms)),
+                      key=lambda t: t.key, reverse=True)
+
+    def render(self) -> str:
+        if self.top:
+            return "unbounded"
+        if not self.terms:
+            return "0"
+        ordered = sorted(self.terms, key=lambda t: (t.key, t.exps),
+                         reverse=True)
+        return " + ".join(t.render() for t in ordered)
+
+
+ZERO = Cost()
+ONE = Cost(frozenset({Term.one()}))
+TOP = Cost(top=True)
+
+
+def _normalize(terms: Iterable[Term]) -> frozenset[Term]:
+    """Keep only dominance-maximal terms; merge same-class terms by
+    the larger ``log`` exponent (the safer upper bound)."""
+    by_key: dict[tuple[Fraction, Fraction, Fraction, Fraction],
+                 Term] = {}
+    for t in terms:
+        prev = by_key.get(t.key)
+        if prev is None or t.exp(LOG) > prev.exp(LOG):
+            by_key[t.key] = t
+    kept = list(by_key.values())
+    maximal = [t for t in kept
+               if not any(o is not t and o.dominates(t)
+                          and not t.dominates(o) for o in kept)]
+    return frozenset(maximal)
+
+
+def cost_of(name: str) -> Cost:
+    return Cost(frozenset({Term.var(name)}))
+
+
+# ------------------------------------------------------------ parser
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<log>log(?:_\{[^}]*\})?)"
+    r"|(?P<sqrt>sqrt)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<num>\d+)"
+    r"|(?P<op>\*\*|[+*/^()]))")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None or m.end() == pos:
+            raise CostSyntaxError(
+                f"unexpected character {text[pos:].lstrip()[:1]!r} "
+                f"in cost expression {text!r}")
+        pos = m.end()
+        if m.group("log"):
+            tokens.append("log")
+        elif m.group("sqrt"):
+            tokens.append("sqrt")
+        elif m.group("name"):
+            tokens.append(m.group("name"))
+        elif m.group("num"):
+            tokens.append(m.group("num"))
+        else:
+            tokens.append("**" if m.group("op") == "**" else
+                          m.group("op"))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.toks = _tokenize(text)
+        self.i = 0
+
+    def peek(self) -> str | None:
+        return self.toks[self.i] if self.i < len(self.toks) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise CostSyntaxError(
+                f"unexpected end of cost expression {self.text!r}")
+        self.i += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.take()
+        if got != tok:
+            raise CostSyntaxError(
+                f"expected {tok!r}, got {got!r} in {self.text!r}")
+
+    # expr := term ('+' term)*
+    def expr(self) -> Cost:
+        out = self.term()
+        while self.peek() == "+":
+            self.take()
+            out = out.add(self.term())
+        return out
+
+    # term := factor (('*'|'/') factor)*
+    def term(self) -> Cost:
+        out = self.factor()
+        while self.peek() in ("*", "/"):
+            op = self.take()
+            rhs = self.factor()
+            if op == "*":
+                out = out.mul(rhs)
+            else:
+                out = out.mul(_invert(rhs, self.text))
+        return out
+
+    # factor := atom [('^'|'**') exponent]
+    def factor(self) -> Cost:
+        base = self.atom()
+        if self.peek() in ("^", "**"):
+            self.take()
+            k = self.exponent()
+            base = _power(base, k, self.text)
+        return base
+
+    def exponent(self) -> Fraction:
+        if self.peek() == "(":
+            self.take()
+            num = self._int()
+            self.expect("/")
+            den = self._int()
+            self.expect(")")
+            return Fraction(num, den)
+        return Fraction(self._int())
+
+    def _int(self) -> int:
+        tok = self.take()
+        if not tok.isdigit():
+            raise CostSyntaxError(
+                f"expected an integer exponent, got {tok!r} "
+                f"in {self.text!r}")
+        return int(tok)
+
+    def atom(self) -> Cost:
+        tok = self.take()
+        if tok == "(":
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        if tok == "log":
+            # The argument is Õ-hidden: parse and drop it when given.
+            # A bare ``log`` (the renderer's output) is also accepted,
+            # so rendered costs round-trip through the parser.
+            if self.peek() == "(":
+                self.take()
+                self.expr()
+                self.expect(")")
+            return Cost(frozenset({Term.var(LOG)}))
+        if tok == "sqrt":
+            self.expect("(")
+            inner = self.expr()
+            self.expect(")")
+            return _power(inner, Fraction(1, 2), self.text)
+        if tok.isdigit():
+            return ZERO if int(tok) == 0 else ONE
+        if tok in COST_VARS:
+            return cost_of(tok)
+        raise CostSyntaxError(
+            f"unknown cost variable {tok!r} in {self.text!r} "
+            f"(the vocabulary is {', '.join(COST_VARS)}, log, sqrt)")
+
+
+def _single(cost: Cost, text: str, what: str) -> Term:
+    if cost.top or len(cost.terms) != 1:
+        raise CostSyntaxError(
+            f"cannot {what} a sum in {text!r}; "
+            f"rewrite as a sum of simple monomials")
+    return next(iter(cost.terms))
+
+
+def _invert(cost: Cost, text: str) -> Cost:
+    return Cost(frozenset({_single(cost, text, "divide by")
+                           .pow(Fraction(-1))}))
+
+
+def _power(cost: Cost, k: Fraction, text: str) -> Cost:
+    if cost.is_zero:
+        return ZERO
+    return Cost(frozenset({_single(cost, text, "exponentiate")
+                           .pow(k)}))
+
+
+def parse_cost(text: str) -> Cost:
+    """Parse a cost expression (raises :class:`CostSyntaxError`)."""
+    p = _Parser(text)
+    if p.peek() is None:
+        raise CostSyntaxError("empty cost expression")
+    out = p.expr()
+    if p.peek() is not None:
+        raise CostSyntaxError(
+            f"trailing tokens after cost expression {text!r}")
+    return out
+
+
+def evaluate_cost(cost: Cost, values: Mapping[str, float], *,
+                  log_value: float = 1.0) -> float:
+    """Numeric value of a cost at a parameter point.
+
+    Coefficients were dropped at parse time, so this is only
+    meaningful up to constant factors — exactly what the
+    bounds-agreement tests compare (static expression vs
+    ``analysis/bounds.py`` formula, ratio bounded both ways).
+    """
+    if cost.top:
+        return float("inf")
+    total = 0.0
+    for t in cost.terms:
+        prod = 1.0
+        for v, e in t.exps:
+            base = log_value if v == LOG else values[v]
+            prod *= float(base) ** float(e)
+        total += prod
+    return total

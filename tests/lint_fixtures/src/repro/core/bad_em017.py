@@ -1,0 +1,12 @@
+"""Fixture: costly public entry point with no em-cost declaration.
+
+``undeclared_scan`` is a module-level public function in ``core/``
+whose derived cost is ``N/B`` (via the declared helper); EM017
+requires such algorithm entry points to declare their bound.
+"""
+
+from repro.em.cost_helpers import scan_input
+
+
+def undeclared_scan(device, blocks):
+    scan_input(device, blocks)

@@ -1,0 +1,17 @@
+"""Fixture: declared ``N/B`` but the body rescans per tuple.
+
+The nested loop performs one buffered write per (outer, inner) pair —
+``N^2/B`` — while the declaration claims a single linear pass.  EM018
+must catch the asymptotic excess (``N^2/B`` over ``N/B``).
+"""
+
+from repro.em.cost_helpers import buffered_put
+
+
+# em-cost: N/B -- claims a single buffered pass over the input
+def rescan_join(device, outer, inner):
+    # em-loop-bound: N -- one outer tuple per iteration
+    for _ in outer:
+        # em-loop-bound: N -- rescans the whole inner input per tuple
+        for _ in inner:
+            buffered_put(device)

@@ -1,0 +1,14 @@
+"""Fixture: data-dependent costly loop with no declared trip count.
+
+``_drain`` performs charged I/O once per iteration of a loop whose
+trip count the analysis cannot see; EM019 demands an
+``# em-loop-bound:`` annotation.
+"""
+
+from repro.em.cost_helpers import buffered_put
+
+
+def _drain(device, queue):
+    while queue:
+        buffered_put(device)
+        queue.pop()

@@ -1,0 +1,9 @@
+"""Fixture: an em-cost declaration attached to nothing (orphan).
+
+The annotation below sits above a plain assignment, not a function
+definition; EM020 flags it as documentation rot.
+"""
+
+
+# em-cost: N/B -- a bound with no function under it
+SCAN_BUDGET = 42

@@ -1,0 +1,10 @@
+"""Fixture: a charge site invisible to the symbolic cost table.
+
+``_mystery_flush`` charges the device directly but is private (so not
+an EM017 root) and unreachable from any cost-declared function; EM021
+flags the unattributed I/O.
+"""
+
+
+def _mystery_flush(device):
+    device.charge_write(1)

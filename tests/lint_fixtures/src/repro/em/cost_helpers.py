@@ -1,0 +1,18 @@
+"""Fixture helpers: declared charged primitives for emcost fixtures.
+
+Both carry ``# em-cost:`` declarations, so charge sites inside them
+are reachable from a cost-declared function (no EM021) and callers
+inherit a precise per-call summary.
+"""
+
+
+# em-cost: amortized 1/B -- one block transfer per B calls (buffered)
+def buffered_put(device):
+    device.charge_write(1)
+
+
+# em-cost: N/B -- one full scan of the input, one block per transfer
+def scan_input(device, blocks):
+    # em-loop-bound: N/B -- one input block per iteration
+    for _ in blocks:
+        device.charge_read(1)

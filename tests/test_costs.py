@@ -1,0 +1,341 @@
+"""emcost unit tests: the symbolic domain, derivation, and the gate.
+
+The fixture-level rule tests (EM017–EM021 firing exactly once) live in
+``test_lint.py``; the real-tree certification (every Table 1 algorithm
+deriving its declared bound) lives in ``test_lint_src.py``.  This file
+covers the machinery: the cost expression algebra, annotation
+attachment edges, the drift comparator, and the ``--check-costs`` CLI
+gate including its placeholder-justification policy.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (Baseline, BaselineEntry, compact_cost_signatures,
+                        compare_cost_signatures, evaluate_cost, lint_paths,
+                        parse_cost, write_baseline)
+from repro.lint.symbolic import CostSyntaxError
+
+
+# ------------------------------------------------- symbolic domain
+
+
+class TestSymbolicDomain:
+    def test_parse_render_normal_form(self):
+        assert parse_cost("N^2/(M*B) + N/B").render() == "N^2/(B*M)"
+        assert parse_cost("N/B + N/B").render() == "N/B"
+        assert parse_cost("1").render() == "1"
+
+    def test_dominated_terms_are_absorbed(self):
+        # N/B is O(N^2/(MB)) under 1 <= B <= M <= N, so the antichain
+        # keeps only the dominant term.
+        c = parse_cost("N^2/(M*B) + N/B")
+        assert len(c.terms) == 1
+
+    def test_incomparable_terms_both_survive(self):
+        # N^4/B vs N^6/(M^5 B): neither dominates (take M close to N
+        # for one direction, M constant for the other).
+        c = parse_cost("N^4/B + N^6/(M^5*B)")
+        assert len(c.terms) == 2
+
+    def test_out_is_incomparable_with_n(self):
+        assert not parse_cost("OUT/B").le(parse_cost("N/B"))
+        assert not parse_cost("N/B").le(parse_cost("OUT/B"))
+
+    def test_le_is_o_tilde_logs_ignored_both_ways(self):
+        assert parse_cost("N/B * log(N/M)").le(parse_cost("N/B"))
+        assert parse_cost("N/B").le(parse_cost("N/B * log(N/M)"))
+
+    def test_sqrt_is_fractional_exponent(self):
+        assert (parse_cost("sqrt(N^3/M)/B").render()
+                == parse_cost("N^(3/2)/(M^(1/2)*B)").render())
+
+    def test_excess_over_names_the_offending_term(self):
+        excess = parse_cost("N^2/B").excess_over(parse_cost("N/B"))
+        assert [t.render() for t in excess] == ["N^2/B"]
+        assert parse_cost("N/B").excess_over(parse_cost("N^2/B")) == []
+
+    def test_evaluate_cost_numeric(self):
+        c = parse_cost("N^2/(M*B) + OUT/B")
+        v = evaluate_cost(c, {"N": 1024.0, "M": 64.0, "B": 8.0,
+                              "OUT": 512.0})
+        assert v == pytest.approx(1024.0 ** 2 / (64 * 8) + 512 / 8)
+
+    def test_evaluate_cost_log_value(self):
+        c = parse_cost("N/B * log(N/M)")
+        assert (evaluate_cost(c, {"N": 100.0, "B": 10.0}, log_value=4.0)
+                == pytest.approx(40.0))
+
+    @pytest.mark.parametrize("bad", ["N +", "Q/B", "N^^2", "N^(1/)",
+                                     "", "log(", "2N"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(CostSyntaxError):
+            parse_cost(bad)
+
+
+# ------------------------------------------------- derivation edges
+
+
+def _lint_tree(tmp_path, files):
+    """Write ``files`` under ``tmp_path/src/repro`` and lint them."""
+    paths = []
+    for rel, text in files.items():
+        p = tmp_path / "src" / "repro" / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+        paths.append(p)
+    return lint_paths(paths, root=tmp_path)
+
+
+class TestDerivation:
+    def test_checked_declaration_matches_derived(self, tmp_path):
+        result = _lint_tree(tmp_path, {"core/mod.py": (
+            "# em-cost: N/B -- one block per iteration\n"
+            "def scan(device, blocks):\n"
+            "    # em-loop-bound: N/B -- one block each\n"
+            "    for _ in blocks:\n"
+            "        device.charge_read(1)\n")})
+        assert result.clean, [v.render() for v in result.violations]
+        entry = result.costs["functions"]["repro.core.mod.scan"]
+        assert entry["cost"] == entry["declared"] == "N/B"
+
+    def test_yields_gives_loops_their_trip_count(self, tmp_path):
+        result = _lint_tree(tmp_path, {"core/mod.py": (
+            "# em-cost: amortized N/B -- one scan across all chunks\n"
+            "# em-yields: N/M\n"
+            "def chunks(device):\n"
+            "    yield []\n"
+            "\n"
+            "\n"
+            "# em-cost: N/B -- the chunk loop: N/M trips, zero-cost "
+            "body,\n"
+            "# plus the generator's own scan\n"
+            "def consume(device):\n"
+            "    for _ in chunks(device):\n"
+            "        pass\n")})
+        assert result.clean, [v.render() for v in result.violations]
+        entry = result.costs["functions"]["repro.core.mod.consume"]
+        assert entry["cost"] == "N/B"
+
+    def test_charges_override_replaces_call_cost(self, tmp_path):
+        result = _lint_tree(tmp_path, {"core/mod.py": (
+            "# em-cost: amortized N^2/(M*B) -- general two-way bound\n"
+            "def join(device):\n"
+            "    device.charge_read(1)\n"
+            "\n"
+            "\n"
+            "# em-cost: N/B -- the restricted call is one merge pass\n"
+            "def outer(device):\n"
+            "    # em-charges: N/B -- inputs pre-sorted here\n"
+            "    join(device)\n")})
+        assert result.clean, [v.render() for v in result.violations]
+        entry = result.costs["functions"]["repro.core.mod.outer"]
+        assert entry["cost"] == "N/B"
+
+    def test_amortized_member_breaks_recursive_cycle(self, tmp_path):
+        src = (
+            "{}def ping(device):\n"
+            "    device.charge_read(1)\n"
+            "    pong(device)\n"
+            "\n"
+            "\n"
+            "def pong(device):\n"
+            "    ping(device)\n")
+        flagged = _lint_tree(tmp_path, {"core/loop.py": src.format("")})
+        assert any(v.code == "EM019" and "recursive cycle" in v.message
+                   for v in flagged.violations)
+        ok = _lint_tree(tmp_path / "b", {"core/loop.py": src.format(
+            "# em-cost: amortized N/B -- recursion depth is the "
+            "query's\n# edge count, a query-size constant\n")})
+        assert not any(v.code == "EM019" for v in ok.violations)
+
+    def test_annotation_text_in_docstring_is_ignored(self, tmp_path):
+        # Regression: the grammar documented inside a docstring must
+        # not register as an orphaned annotation (EM020).
+        result = _lint_tree(tmp_path, {"core/mod.py": (
+            '"""Docs quoting the grammar:\n'
+            "\n"
+            "    # em-cost: <expr> -- justification\n"
+            "    # em-loop-bound: <expr>\n"
+            '"""\n')})
+        assert result.clean, [v.render() for v in result.violations]
+
+    def test_wrapped_declaration_comment_attaches(self, tmp_path):
+        # A justification wrapped over several comment lines still
+        # binds to the def below the comment block.
+        result = _lint_tree(tmp_path, {"core/mod.py": (
+            "# em-cost: N/B -- a justification long enough to wrap\n"
+            "# onto a second comment line before the definition\n"
+            "def scan(device, blocks):\n"
+            "    # em-loop-bound: N/B -- one block each\n"
+            "    for _ in blocks:\n"
+            "        device.charge_read(1)\n")})
+        assert result.clean, [v.render() for v in result.violations]
+
+
+# ------------------------------------------------- drift comparator
+
+
+def _table(tmp_path, source):
+    result = _lint_tree(tmp_path, {"core/mod.py": source})
+    return result.costs
+
+
+CHECKED = ("# em-cost: N/B -- one pass\n"
+           "def scan(device, blocks):\n"
+           "    # em-loop-bound: N/B -- one block each\n"
+           "    for _ in blocks:\n"
+           "        device.charge_read(1)\n")
+
+QUADRATIC = ("# em-cost: amortized N^2/B -- rescans per tuple\n"
+             "def scan(device, blocks):\n"
+             "    # em-loop-bound: N -- outer tuples\n"
+             "    for _ in blocks:\n"
+             "        # em-loop-bound: N -- inner rescan\n"
+             "        for _ in blocks:\n"
+             "            device.charge_read(1)\n")
+
+
+class TestCostDrift:
+    def test_identical_tables_agree(self, tmp_path):
+        committed = compact_cost_signatures(_table(tmp_path, CHECKED))
+        failures, notices = compare_cost_signatures(
+            committed, _table(tmp_path / "b", CHECKED))
+        assert failures == [] and notices == []
+
+    def test_cost_change_with_declaration_update_is_a_notice(
+            self, tmp_path):
+        committed = compact_cost_signatures(_table(tmp_path, CHECKED))
+        failures, notices = compare_cost_signatures(
+            committed, _table(tmp_path / "b", QUADRATIC))
+        assert failures == []
+        assert any("declaration updated" in n for n in notices)
+
+    def test_cost_change_without_declaration_update_fails(
+            self, tmp_path):
+        table = _table(tmp_path, CHECKED)
+        committed = compact_cost_signatures(table)
+        # Simulate an asymptotic regression the declaration missed:
+        # the committed archive pinned a cheaper derived bound.
+        committed["costs"]["repro.core.mod.scan"]["cost"] = "1/B"
+        failures, notices = compare_cost_signatures(committed, table)
+        assert any("without a matching" in f for f in failures)
+
+    def test_added_and_removed_are_notices(self, tmp_path):
+        committed = compact_cost_signatures(_table(tmp_path, CHECKED))
+        other = _lint_tree(tmp_path / "b",
+                           {"core/other.py": CHECKED}).costs
+        failures, notices = compare_cost_signatures(committed, other)
+        assert failures == []
+        assert any("removed" in n for n in notices)
+        assert any("added" in n for n in notices)
+
+    def test_schema_version_move_is_a_notice(self, tmp_path):
+        table = _table(tmp_path, CHECKED)
+        committed = compact_cost_signatures(table)
+        committed["schema_version"] = "0.0"
+        failures, notices = compare_cost_signatures(committed, table)
+        assert failures == []
+        assert any("schema version" in n for n in notices)
+
+
+# ------------------------------------------------- CLI gate
+
+
+def _write_tree(tmp_path, source=CHECKED):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text(source)
+    return tmp_path / "src"
+
+
+class TestCliCostsGate:
+    def test_write_then_check(self, tmp_path, capsys):
+        src = _write_tree(tmp_path)
+        baseline = tmp_path / "costs-baseline.json"
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--no-baseline",
+                   "--write-costs-baseline", str(baseline)])
+        assert rc == 0
+        doc = json.loads(baseline.read_text())
+        assert doc["costs"]["repro.core.mod.scan"]["cost"] == "N/B"
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--no-baseline", "--check-costs", str(baseline)])
+        assert rc == 0
+        assert "checked against" in capsys.readouterr().out
+
+    def test_check_fails_on_undeclared_drift(self, tmp_path, capsys):
+        src = _write_tree(tmp_path)
+        baseline = tmp_path / "costs-baseline.json"
+        assert main(["lint", str(src), "--root", str(tmp_path),
+                     "--no-baseline",
+                     "--write-costs-baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["costs"]["repro.core.mod.scan"]["cost"] = "1/B"
+        baseline.write_text(json.dumps(doc))
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--no-baseline", "--check-costs", str(baseline)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_bad_baseline_path(self, tmp_path):
+        src = _write_tree(tmp_path)
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--no-baseline",
+                   "--check-costs", str(tmp_path / "missing.json")])
+        assert rc == 2
+
+    def test_costs_table_dump(self, tmp_path):
+        src = _write_tree(tmp_path)
+        out = tmp_path / "cost_table.json"
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--no-baseline", "--costs", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["functions"]["repro.core.mod.scan"]["declared"] == "N/B"
+
+    def test_gate_rejects_placeholder_in_committed_archive(
+            self, tmp_path, capsys):
+        # Satellite regression: every --check-* gate refuses committed
+        # documents whose justification is still the placeholder.
+        src = _write_tree(tmp_path)
+        baseline = tmp_path / "costs-baseline.json"
+        assert main(["lint", str(src), "--root", str(tmp_path),
+                     "--no-baseline",
+                     "--write-costs-baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["costs"]["repro.core.mod.scan"]["justification"] = (
+            "TODO: justify")
+        baseline.write_text(json.dumps(doc))
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--no-baseline", "--check-costs", str(baseline)])
+        assert rc == 1
+        assert "placeholder justification" in capsys.readouterr().out
+
+    def test_gated_run_polices_suppression_placeholders(
+            self, tmp_path, capsys):
+        # A lint-baseline entry still carrying the --write-baseline
+        # placeholder passes a plain run (iterate locally) but fails
+        # any gated (--check-*) run.
+        src = _write_tree(tmp_path, CHECKED + (
+            "\n\ndef slurp(rel):\n"
+            "    return list(rel.data.scan())\n"))
+        costs = tmp_path / "costs-baseline.json"
+        assert main(["lint", str(src), "--root", str(tmp_path),
+                     "--no-baseline",
+                     "--write-costs-baseline", str(costs)]) == 1
+        suppress = tmp_path / "lint-baseline.json"
+        write_baseline(Baseline(entries=[BaselineEntry(
+            path="src/repro/core/mod.py", code="EM002", scope="slurp",
+            count=1, justification="TODO: justify -- review me")]),
+            suppress)
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--baseline", str(suppress)])
+        assert rc == 0
+        rc = main(["lint", str(src), "--root", str(tmp_path),
+                   "--baseline", str(suppress),
+                   "--check-costs", str(costs)])
+        assert rc == 1
+        assert "placeholder justification" in capsys.readouterr().out

@@ -41,6 +41,14 @@ BAD_FIXTURES = {
     "EM014": (FIXTURE_SRC / "repro/server/bad_em014.py",),
     "EM015": (FIXTURE_SRC / "repro/server/bad_em015.py",),
     "EM016": (FIXTURE_SRC / "repro/server/bad_em016.py",),
+    "EM017": (FIXTURE_SRC / "repro/core/bad_em017.py",
+              FIXTURE_SRC / "repro/em/cost_helpers.py"),
+    "EM018": (FIXTURE_SRC / "repro/core/bad_em018.py",
+              FIXTURE_SRC / "repro/em/cost_helpers.py"),
+    "EM019": (FIXTURE_SRC / "repro/core/bad_em019.py",
+              FIXTURE_SRC / "repro/em/cost_helpers.py"),
+    "EM020": (FIXTURE_SRC / "repro/core/bad_em020.py",),
+    "EM021": (FIXTURE_SRC / "repro/core/bad_em021.py",),
 }
 
 
